@@ -1,0 +1,36 @@
+"""Benchmark: the Section 5.1.1 parameter tables + raw engine throughput.
+
+The parameter tables are configuration, not measurement; this bench prints
+them for completeness and benchmarks one representative DP execution so
+the suite tracks simulator throughput over time.
+"""
+
+from conftest import run_once
+
+from repro.engine import QueryExecutor
+from repro.experiments.config import (
+    DISK_TABLE,
+    NETWORK_TABLE,
+    scaled_execution_params,
+)
+from repro.experiments.reporting import format_table
+from repro.sim import MachineConfig
+from repro.workloads import pipeline_chain_scenario
+
+
+def test_parameter_tables_and_engine_throughput(benchmark):
+    print()
+    print(format_table(["Network Parameters", "Values"], NETWORK_TABLE,
+                       title="Section 5.1.1 network parameters"))
+    print()
+    print(format_table(["Disk Parameters", "Values"], DISK_TABLE,
+                       title="Section 5.1.1 disk parameters"))
+    plan, config = pipeline_chain_scenario(nodes=2, processors_per_node=4,
+                                           base_tuples=2000)
+    params = scaled_execution_params(scale=0.01)
+
+    def execute():
+        return QueryExecutor(plan, config, strategy="DP", params=params).run()
+
+    result = run_once(benchmark, execute)
+    assert result.metrics.result_tuples > 0

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 10 (DP vs FP, hierarchical configurations).
+
+Expected shape: DP strictly better than FP on every configuration under
+skew (the paper reports 14-39% gains), with a several-fold smaller
+load-balancing traffic and much lower idle time.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, quick_options):
+    result = run_once(benchmark, figure10.run, quick_options,
+                      configs=((2, 4), (2, 8)))
+    print()
+    print(result.table())
+    dp = next(s for s in result.series if s.name == "DP")
+    assert all(y < 1.0 for y in dp.ys()), "DP must beat FP under skew"
+    for label, gain in result.gains.items():
+        assert gain > 0.05, f"{label}: expected a clear DP gain, got {gain:.1%}"
+    for label in result.idle_dp:
+        assert result.idle_dp[label] < result.idle_fp[label]

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 6 (SP/DP/FP relative performance).
+
+Prints the same series the paper plots.  Expected shape: SP = 1.0, DP
+within a few percent, FP worst and worse at fewer processors.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, quick_options):
+    result = run_once(benchmark, figure6.run, quick_options,
+                      processor_counts=(8, 16, 32))
+    print()
+    print(result.table())
+    sp = next(s for s in result.series if s.name == "SP")
+    dp = next(s for s in result.series if s.name == "DP")
+    fp = next(s for s in result.series if s.name == "FP")
+    # SP is the reference and the winner; DP close; FP worst.
+    assert all(y == 1.0 for y in sp.ys())
+    assert all(y < 1.15 for y in dp.ys()), "DP should stay close to SP"
+    assert all(fy > dy for fy, dy in zip(fp.ys(), dp.ys())), "FP worst"

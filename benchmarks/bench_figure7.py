@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 7 (FP degradation vs cost-model error).
+
+Expected shape: FP relative performance (vs SP) degrades as the error
+rate grows.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, quick_options):
+    result = run_once(
+        benchmark, figure7.run, quick_options,
+        processor_counts=(8, 32),
+        error_rates=(0.0, 0.10, 0.30),
+        distortions_per_plan=2,
+    )
+    print()
+    print(result.table())
+    for series in result.series:
+        zero = series.y_at(0.0)
+        worst = max(series.ys())
+        assert worst >= zero * 0.999, (
+            f"{series.name}: errors should not improve FP"
+        )

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (speedup of SP, DP, FP).
+
+Expected shape: SP and DP close and strongly scaling; FP below both.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, quick_options):
+    result = run_once(benchmark, figure8.run, quick_options,
+                      processor_counts=(1, 8, 16, 32))
+    print()
+    print(result.table())
+    assert result.speedup("DP", 1) == 1.0
+    # Strong scaling: significant fraction of linear at 16 processors.
+    assert result.speedup("DP", 16) > 8
+    assert result.speedup("SP", 16) > 8
+    # FP below DP at scale.
+    assert result.speedup("FP", 16) < result.speedup("DP", 16)

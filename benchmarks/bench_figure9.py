@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9 (DP vs redistribution skew).
+
+Expected shape: the skew curve stays flat — "the impact of skew on our
+model is insignificant".
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, quick_options):
+    result = run_once(benchmark, figure9.run, quick_options,
+                      skew_factors=(0.0, 0.4, 0.8, 1.0), processors=32)
+    print()
+    print(result.table())
+    assert result.max_degradation() < 1.15, (
+        "DP should degrade insignificantly under redistribution skew"
+    )

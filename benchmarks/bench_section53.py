@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the Section 5.3 transfer-volume comparison.
+
+Expected shape: FP ships several times more load-balancing data than DP
+(the paper measures 9 MB vs 2.5 MB = 3.6x; its general claim is 2-4x).
+"""
+
+from conftest import run_once
+
+from repro.experiments import section53
+
+
+def test_section53(benchmark, quick_options):
+    result = run_once(benchmark, section53.run, quick_options)
+    print()
+    print(result.table())
+    assert result.traffic_ratio > 1.5, (
+        f"FP should ship clearly more LB data than DP, got "
+        f"{result.traffic_ratio:.1f}x"
+    )
+    assert result.dp_response < result.fp_response

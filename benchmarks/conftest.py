@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the paper's experiments at reduced size (few plans, small
+scale) so the whole suite regenerates every table and figure in minutes.
+Each bench prints the same rows/series the paper reports; absolute
+timings come from pytest-benchmark.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentOptions
+
+
+@pytest.fixture(scope="session")
+def quick_options() -> ExperimentOptions:
+    """Reduced experiment options shared by all benches."""
+    return ExperimentOptions.quick()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,65 @@
+"""A decision-support workload: random multi-join queries end to end.
+
+Exercises the full stack the way the paper's evaluation does: random
+12-relation queries (Shekita93 generator), exact bushy optimization with
+top-2 plan retention, macro-expansion with scheduling heuristics, and
+execution on a hierarchical machine under moderate skew — the data
+warehouse setting the paper's introduction targets ("such queries are
+getting increasingly important as parallel database systems are gaining
+wider use for decision support").
+
+Run with::
+
+    python examples/warehouse_workload.py
+"""
+
+from repro.catalog import SkewSpec
+from repro.engine import QueryExecutor
+from repro.experiments.config import scaled_execution_params
+from repro.optimizer import is_left_deep, is_right_deep, tree_signature
+from repro.sim import MachineConfig
+from repro.workloads import WorkloadConfig, build_workload
+
+
+def shape(tree) -> str:
+    if is_left_deep(tree):
+        return "left-deep"
+    if is_right_deep(tree):
+        return "right-deep"
+    return "bushy"
+
+
+def main() -> None:
+    config = MachineConfig(nodes=2, processors_per_node=8)
+    workload = build_workload(
+        config, WorkloadConfig(queries=3, scale=0.01, seed=2024)
+    )
+    print(f"workload: {len(workload.plans)} plans from "
+          f"{len(workload.accepted_queries)} queries "
+          f"({workload.rejected_queries} candidates rejected by the "
+          f"sequential-time band)")
+    print()
+
+    params = scaled_execution_params(
+        scale=0.01, skew=SkewSpec.uniform_redistribution(0.4)
+    )
+    header = (f"{'plan':>8}  {'shape':>10}  {'ops':>4}  {'chains':>6}  "
+              f"{'DP time':>9}  {'FP time':>9}  {'DP gain':>8}")
+    print(header)
+    print("-" * len(header))
+    for plan in workload.plans:
+        dp = QueryExecutor(plan, config, strategy="DP", params=params).run()
+        fp = QueryExecutor(plan, config, strategy="FP", params=params).run()
+        gain = (fp.response_time - dp.response_time) / fp.response_time
+        print(f"{plan.label:>8}  {shape(plan.join_tree):>10}  "
+              f"{len(plan.operators):>4}  {len(plan.operators.chains):>6}  "
+              f"{dp.response_time:>8.3f}s  {fp.response_time:>8.3f}s  "
+              f"{gain:>8.1%}")
+    print()
+    print("The optimizer's two retained plans per query are genuinely")
+    print("different trees; DP's gain varies with how well FP's static")
+    print("allocation happens to fit each plan's chains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of Bouganim, Florescu & Valduriez (1996).
+
+*Dynamic Load Balancing in Hierarchical Parallel Database Systems*
+(INRIA RR-2815 / VLDB 1996).
+
+The package implements, in virtual time:
+
+- :mod:`repro.sim` — the execution substrate (event kernel, SM-node machine
+  model, disks, network) standing in for the paper's KSR1;
+- :mod:`repro.catalog` — relations, hash partitioning, buckets, skew;
+- :mod:`repro.query` — the Shekita93-style random multi-join query generator;
+- :mod:`repro.optimizer` — cost model, bushy-tree search, macro-expansion to
+  scan/build/probe operator trees, scheduling constraints, operator homes;
+- :mod:`repro.engine` — the paper's execution model: activations, activation
+  queues, one-thread-per-processor execution with procedure-call suspension,
+  per-node schedulers, operator-end detection, two-level dynamic load
+  balancing, plus the DP / SP / FP strategies of Section 5;
+- :mod:`repro.workloads` — the 40-plan evaluation workload and canned
+  scenarios;
+- :mod:`repro.experiments` — one module per figure/table of the paper.
+
+Quickstart::
+
+    from repro import run_query, MachineConfig
+    from repro.workloads import two_node_join_scenario
+
+    plan, config = two_node_join_scenario()
+    result = run_query(plan, config, strategy="DP")
+    print(result.response_time, result.metrics.idle_fraction())
+"""
+
+from .sim.machine import KB, MB, PAGE_SIZE, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "KB",
+    "MB",
+    "PAGE_SIZE",
+    "run_query",
+    "__version__",
+]
+
+
+def run_query(plan, config, strategy="DP", **kwargs):
+    """Execute a parallel plan on a simulated machine and return the result.
+
+    Thin convenience wrapper over :class:`repro.engine.executor.QueryExecutor`
+    (imported lazily to keep ``import repro`` light).
+
+    Parameters
+    ----------
+    plan:
+        A :class:`repro.optimizer.plan.ParallelExecutionPlan`.
+    config:
+        A :class:`repro.sim.machine.MachineConfig`.
+    strategy:
+        ``"DP"`` (the paper's model), ``"SP"`` or ``"FP"``.
+    kwargs:
+        Forwarded to the executor (engine parameters, seeds, ...).
+    """
+    from .engine.executor import QueryExecutor
+
+    return QueryExecutor(plan, config, strategy=strategy, **kwargs).run()

@@ -1,0 +1,17 @@
+"""Catalog layer: relations, physical placement, skew models."""
+
+from .partitioning import RelationPlacement, partitioning_degree, place_relation
+from .relation import DEFAULT_TUPLE_SIZE, Relation, SizeClass
+from .skew import SkewSpec, proportional_split, zipf_weights
+
+__all__ = [
+    "DEFAULT_TUPLE_SIZE",
+    "Relation",
+    "SizeClass",
+    "RelationPlacement",
+    "partitioning_degree",
+    "place_relation",
+    "SkewSpec",
+    "proportional_split",
+    "zipf_weights",
+]

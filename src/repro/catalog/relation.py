@@ -1,0 +1,89 @@
+"""Relations and their physical properties.
+
+A :class:`Relation` is purely metadata: name, cardinality, tuple width.
+The simulator never materializes tuples — exactly like the paper, which
+"ignore[s] the content of relations" and generates them from cardinalities
+(Section 5.1.2).
+
+Size classes follow Section 5.1.2: small (10K–20K tuples), medium
+(100K–200K), large (1M–2M).  A global ``scale`` knob shrinks all classes
+proportionally for fast experimentation; relative results are unchanged
+because every cost in the model is linear in tuple counts.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["Relation", "SizeClass", "DEFAULT_TUPLE_SIZE"]
+
+#: Default tuple width in bytes (typical Wisconsin-style tuple).
+DEFAULT_TUPLE_SIZE = 100
+
+
+class SizeClass(enum.Enum):
+    """The paper's three relation size classes (Section 5.1.2)."""
+
+    SMALL = (10_000, 20_000)
+    MEDIUM = (100_000, 200_000)
+    LARGE = (1_000_000, 2_000_000)
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """(low, high) cardinality bounds at scale 1.0."""
+        return self.value
+
+    def sample(self, rng: random.Random, scale: float = 1.0) -> int:
+        """Draw a cardinality uniformly from the (scaled) class range."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        low, high = self.value
+        low = max(1, round(low * scale))
+        high = max(low, round(high * scale))
+        return rng.randint(low, high)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A base relation: metadata only, no tuples.
+
+    ``heat`` follows [Copeland88]: the paper notes that the degree of
+    partitioning is "a function of the size and heat of the relation".  With
+    the paper's experimental assumption of full partitioning, heat only
+    matters to the partitioning-degree heuristic in
+    :mod:`repro.catalog.partitioning`.
+    """
+
+    name: str
+    cardinality: int
+    tuple_size: int = DEFAULT_TUPLE_SIZE
+    heat: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise ValueError(f"{self.name}: negative cardinality")
+        if self.tuple_size <= 0:
+            raise ValueError(f"{self.name}: tuple size must be positive")
+        if self.heat < 0:
+            raise ValueError(f"{self.name}: heat must be >= 0")
+
+    @property
+    def bytes(self) -> int:
+        """Total relation size in bytes."""
+        return self.cardinality * self.tuple_size
+
+    def pages(self, page_size: int = 8 * 1024) -> int:
+        """Number of pages the relation occupies (ceiling)."""
+        if self.cardinality == 0:
+            return 0
+        return math.ceil(self.bytes / page_size)
+
+    def tuples_per_page(self, page_size: int = 8 * 1024) -> int:
+        """How many tuples fit in one page (floor, at least 1)."""
+        return max(1, page_size // self.tuple_size)
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.cardinality})"

@@ -1,0 +1,473 @@
+"""Execution context: the shared runtime state of one query execution.
+
+Wires together the substrate (environment, machine, disks, network), the
+plan-derived operator runtimes, the per-node state (queues, hash tables,
+idle/wake bookkeeping) and the cross-cutting mechanisms:
+
+* trigger seeding ("query execution starts by sending trigger activations
+  to all scan queues", Section 4 — blocked scans receive their triggers
+  too, in blocked queues);
+* operator termination effects (unblocking successors, flushing producer
+  channels, releasing hash tables, detecting query completion);
+* flow-control callbacks between queues and output channels;
+* the ground-truth ``outstanding`` accounting that the distributed
+  end-detection protocol of :mod:`repro.engine.scheduler` certifies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from ..catalog.skew import proportional_split, zipf_weights
+from ..optimizer.operator_tree import OpKind
+from ..optimizer.plan import ParallelExecutionPlan
+from ..sim.core import Environment, Event
+from ..sim.disk import Disk
+from ..sim.machine import Machine, MachineConfig, SMNode
+from ..sim.network import Message, Network
+from ..sim.rng import RandomStreams
+from .activation import DataActivation, GroupId, TriggerActivation
+from .metrics import ExecutionMetrics
+from .opstate import OperatorRuntime
+from .params import ExecutionParams
+from .queues import ActivationQueue, OperatorQueueSet
+from .routing import OutputChannel, ResultSink, Router, consumer_cells
+from .tables import HashTableStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import NodeScheduler
+    from .thread_exec import ExecutionThread
+
+__all__ = ["NodeState", "ExecutionContext", "ExecutionDeadlock"]
+
+
+class ExecutionDeadlock(RuntimeError):
+    """The event heap drained before the root operator terminated."""
+
+
+class NodeState:
+    """Per-SM-node runtime state."""
+
+    def __init__(self, context: "ExecutionContext", node_id: int, smnode: SMNode):
+        self.context = context
+        self.node_id = node_id
+        self.smnode = smnode
+        self.store = HashTableStore(smnode)
+        #: op_id -> queue set, for operators homed on this node.
+        self.queue_sets: dict[int, OperatorQueueSet] = {}
+        self.threads: list["ExecutionThread"] = []
+        self.scheduler: Optional["NodeScheduler"] = None
+        self._idle: list["ExecutionThread"] = []
+        #: per (consumer op, queue index, src node): consumed since the last
+        #: credit return (flow-control bookkeeping).
+        self._credit_owed: dict[tuple[int, int, int], int] = {}
+        #: set after a fruitless steal round; cleared when local state
+        #: changes, so idle threads do not spam starving messages.
+        self.lb_blocked_scopes: set[Optional[int]] = set()
+
+    # -- wake / idle -------------------------------------------------------------
+
+    def register_idle(self, thread: "ExecutionThread") -> Event:
+        """Park a thread; returns the event that will wake it."""
+        event = self.context.env.event(f"wake:n{self.node_id}t{thread.index}")
+        thread.wake_event = event
+        self._idle.append(thread)
+        return event
+
+    def wake_all(self) -> None:
+        """Wake every parked thread on this node."""
+        if not self._idle:
+            return
+        parked, self._idle = self._idle, []
+        for thread in parked:
+            event, thread.wake_event = thread.wake_event, None
+            if event is not None and not event.triggered:
+                event.succeed()
+
+    def wake_for_op(self, op_id: int) -> None:
+        """Wake parked threads that may consume ``op_id``.
+
+        Under FP most threads cannot touch most operators; waking them on
+        every unrelated enqueue would only make them pay the idle-signal
+        cost again (a wakeup storm).  DP threads are always eligible.
+        """
+        if not self._idle:
+            return
+        keep: list["ExecutionThread"] = []
+        woken = False
+        for thread in self._idle:
+            eligible = thread.assigned_ops is None or op_id in thread.assigned_ops
+            if eligible:
+                event, thread.wake_event = thread.wake_event, None
+                if event is not None and not event.triggered:
+                    event.succeed()
+                woken = True
+            else:
+                keep.append(thread)
+        if woken:
+            self._idle = keep
+
+    @property
+    def idle_thread_count(self) -> int:
+        return len(self._idle)
+
+    # -- queue callbacks ------------------------------------------------------------
+
+    def on_queue_push(self, queue: ActivationQueue) -> None:
+        """Arrival hook: wake eligible threads, clear the failed-steal latch."""
+        self.lb_blocked_scopes.clear()
+        self.wake_for_op(queue.op_id)
+
+    def on_queue_pop(self, queue: ActivationQueue,
+                     activation: DataActivation | TriggerActivation) -> None:
+        """Consumption hook: flow-control drains and credit returns."""
+        # A slot freed: the producer's channel may have parked batches.
+        producer_id = self.context.producer_of.get(queue.op_id)
+        if producer_id is not None:
+            channel = self.context.channels.get((self.node_id, producer_id))
+            if channel is not None:
+                channel.on_local_space(queue.thread_index)
+        # Credit return for remote batches.
+        if (not activation.is_trigger and activation.remote
+                and activation.src_node >= 0):
+            key = (queue.op_id, queue.thread_index, activation.src_node)
+            owed = self._credit_owed.get(key, 0) + 1
+            threshold = max(1, self.context.params.credit_window // 2)
+            if owed >= threshold:
+                self._credit_owed[key] = 0
+                self.context.return_credits(
+                    self.node_id, activation.src_node, queue.op_id,
+                    (self.node_id, queue.thread_index), owed,
+                )
+            else:
+                self._credit_owed[key] = owed
+        # An emptied queue returns every owed credit at once: producers may
+        # be parked on their last sub-window batches (e.g. after a flush),
+        # and withholding the crumbs would wedge the pipeline.
+        if queue.is_empty:
+            for key in list(self._credit_owed):
+                op_id, thread_index, src = key
+                if op_id == queue.op_id and thread_index == queue.thread_index:
+                    owed = self._credit_owed.pop(key)
+                    if owed:
+                        self.context.return_credits(
+                            self.node_id, src, op_id,
+                            (self.node_id, thread_index), owed,
+                        )
+
+    def total_queued_activations(self) -> int:
+        """Load indicator used by the steal protocol (provider ranking)."""
+        return sum(qs.total_queued for qs in self.queue_sets.values())
+
+
+class ExecutionContext:
+    """All shared state of one simulated query execution."""
+
+    def __init__(self, plan: ParallelExecutionPlan, config: MachineConfig,
+                 params: Optional[ExecutionParams] = None):
+        self.plan = plan
+        self.config = config
+        self.params = params or ExecutionParams()
+        self.env = Environment()
+        self.machine = Machine(config)
+        self.network = Network(self.env, self.params.network)
+        self.streams = RandomStreams(self.params.seed)
+        self.metrics = ExecutionMetrics()
+        self.result_sink = ResultSink()
+        self.done = False
+        self.finished = self.env.event("query-finished")
+        self.response_time: Optional[float] = None
+
+        # --- substrate ------------------------------------------------------
+        self.disks: list[list[Disk]] = [
+            [Disk(self.env, self.params.disk, name=f"d{n}.{d}")
+             for d in range(config.processors_per_node)]
+            for n in range(config.nodes)
+        ]
+        self.nodes: list[NodeState] = [
+            NodeState(self, n, self.machine.node(n)) for n in range(config.nodes)
+        ]
+
+        # --- operator runtimes ------------------------------------------------
+        self.ops: dict[int, OperatorRuntime] = {}
+        #: consumer op -> its unique pipelined producer op.
+        self.producer_of: dict[int, int] = {}
+        for op in plan.operators:
+            runtime = OperatorRuntime(
+                op, plan.homes[op.op_id],
+                plan.schedule.predecessors_of(op.op_id),
+            )
+            self.ops[op.op_id] = runtime
+            if op.consumer_id is not None:
+                self.producer_of[op.consumer_id] = op.op_id
+
+        # --- queues -------------------------------------------------------------
+        k = config.processors_per_node
+        for runtime in self.ops.values():
+            for node_id in runtime.home:
+                node = self.nodes[node_id]
+                queue_set = OperatorQueueSet(
+                    runtime.op_id, node_id, k, self.params.queue_capacity
+                )
+                queue_set.set_blocked(runtime.blocked)
+                queue_set.on_push = node.on_queue_push
+                node.queue_sets[runtime.op_id] = queue_set
+
+        # --- routing ----------------------------------------------------------------
+        self.routers: dict[int, Optional[Router]] = {}
+        self.channels: dict[tuple[int, int], OutputChannel] = {}
+        tuple_size = self._plan_tuple_size()
+        theta = self.params.skew.redistribution
+        for runtime in self.ops.values():
+            op = runtime.op
+            if op.kind is OpKind.BUILD:
+                continue  # builds output a hash table, not a tuple stream
+            consumer_id = op.consumer_id
+            if consumer_id is None:
+                router = None  # root: results go to the sink
+            else:
+                consumer_home = self.ops[consumer_id].home
+                cells = consumer_cells(consumer_home, k)
+                buckets = self.params.buckets_for_home(len(consumer_home) * k)
+                rng = self.streams.stream(f"router:{op.op_id}")
+                router = Router(cells, buckets, theta, rng)
+            self.routers[op.op_id] = router
+            for node_id in runtime.home:
+                self.channels[(node_id, op.op_id)] = OutputChannel(
+                    self, node_id, op.op_id, consumer_id, router, tuple_size
+                )
+
+    # -- small helpers -----------------------------------------------------------
+
+    def _plan_tuple_size(self) -> int:
+        sizes = {rel.tuple_size for rel in self.plan.graph.relations.values()}
+        return max(sizes) if sizes else 100
+
+    def instructions_time(self, instructions: float) -> float:
+        """Virtual seconds for ``instructions`` on one processor."""
+        return instructions / self.params.cost.mips
+
+    # -- trigger seeding (Section 4, "Query execution") ---------------------------
+
+    def seed_triggers(self) -> None:
+        """Create all trigger activations and mark scans' producers done."""
+        theta = self.params.skew.redistribution
+        for runtime in self.ops.values():
+            if runtime.kind is not OpKind.SCAN:
+                continue
+            placement = self.plan.placements[runtime.op.relation.name]
+            tuples_per_page = runtime.op.relation.tuples_per_page(
+                self.config.page_size
+            )
+            for node_id in runtime.home:
+                node = self.nodes[node_id]
+                queue_set = node.queue_sets[runtime.op_id]
+                per_disk: list[list[TriggerActivation]] = []
+                for disk_id, disk_tuples in enumerate(placement.disk_shares(node_id)):
+                    if disk_tuples == 0:
+                        continue
+                    pages = math.ceil(disk_tuples / tuples_per_page)
+                    n_chunks = math.ceil(pages / self.params.pages_per_trigger)
+                    page_shares = proportional_split(pages, [1.0] * n_chunks)
+                    tuple_shares = proportional_split(disk_tuples, page_shares)
+                    per_disk.append([
+                        TriggerActivation(
+                            op_id=runtime.op_id, disk_id=disk_id,
+                            pages=chunk_pages, tuples=chunk_tuples,
+                        )
+                        for chunk_pages, chunk_tuples in zip(page_shares,
+                                                             tuple_shares)
+                        if chunk_pages
+                    ])
+                # Disk-major order: a queue's share covers one disk (or a
+                # contiguous run of disks), giving consuming threads
+                # stream affinity — consecutive requests per disk stay
+                # sequential and tightly spaced.  Threads that need more
+                # I/O parallelism absorb triggers *disk-aware* instead
+                # (see ExecutionThread._select_trigger_of).
+                chunks: list[TriggerActivation] = [
+                    chunk for disk_chunks in per_disk for chunk in disk_chunks
+                ]
+                if not chunks:
+                    continue
+                # Distribute chunks over the node's scan queues; a Zipf
+                # factor reproduces the paper's trigger-side
+                # redistribution skew (Section 5.2.2).
+                rng = self.streams.stream(f"trigger:{runtime.op_id}:{node_id}")
+                weights = zipf_weights(len(queue_set.queues), theta, rng)
+                counts = proportional_split(len(chunks), weights)
+                cursor = 0
+                for queue_index, count in enumerate(counts):
+                    for activation in chunks[cursor:cursor + count]:
+                        runtime.outstanding += 1
+                        self.metrics.trigger_activations += 1
+                        # Trigger seeding is the initial work assignment,
+                        # not pipeline flow: it bypasses the queue bound.
+                        queue_set.push(queue_index, activation, force=True)
+                    cursor += count
+            runtime.producers_done = True
+            # An empty scan may be done before it starts.
+            self.maybe_end(runtime)
+
+    # -- network paths --------------------------------------------------------------
+
+    def send_data_activation(self, src_node: int, activation: DataActivation) -> int:
+        """Ship a pipelined batch to its group's home node.
+
+        Returns the sender-side CPU instructions (charged by the calling
+        thread; scheduler-context callers fold them into latency).
+        """
+        dst_node = activation.group[0]
+        nbytes = activation.tuples * activation.tuple_size
+        self.network.send(src_node, dst_node, "data", activation, nbytes,
+                          purpose="pipeline")
+        return self.params.network.send_instructions(nbytes)
+
+    def deliver_data_activation(self, activation: DataActivation) -> None:
+        """Receiver side: push a remote batch into its destination queue.
+
+        Remote arrivals may exceed the queue bound by up to the credit
+        window (the window *is* the reservation), hence ``force``.
+        """
+        node_id, queue_index = activation.group
+        queue_set = self.nodes[node_id].queue_sets[activation.op_id]
+        queue_set.push(queue_index, activation, force=True)
+
+    def return_credits(self, src_node: int, dst_node: int, op_id: int,
+                       cell: GroupId, count: int) -> None:
+        """Send a flow-control credit message back to a producer node."""
+        if src_node == dst_node:
+            return
+        self.network.send(src_node, dst_node, "credit",
+                          (op_id, cell, count), nbytes=16, purpose="control")
+
+    def on_credit_message(self, node_id: int, payload) -> None:
+        """Producer node received returned credits: drain parked batches."""
+        op_id, cell, count = payload
+        producer_id = self.producer_of.get(op_id)
+        if producer_id is None:
+            return
+        channel = self.channels.get((node_id, producer_id))
+        if channel is not None:
+            channel.on_credit(cell, count)
+
+    # -- flow-control hooks -------------------------------------------------------------
+
+    def on_channel_stalled(self, channel: OutputChannel) -> None:
+        """A producer stalled; nothing to do (selection checks live state)."""
+
+    def on_channel_unstalled(self, channel: OutputChannel) -> None:
+        """A producer unstalled: its activations are selectable again."""
+        node = self.nodes[channel.node_id]
+        node.lb_blocked_scopes.clear()
+        node.wake_for_op(channel.producer_op_id)
+
+    def is_op_selectable(self, node: NodeState, runtime: OperatorRuntime) -> bool:
+        """Whether a thread on ``node`` may consume this operator now.
+
+        Unblocked, not terminated, has queued work, and its output channel
+        on this node is not stalled (flow control).
+        """
+        if runtime.terminated or runtime.blocked:
+            return False
+        queue_set = node.queue_sets.get(runtime.op_id)
+        if queue_set is None or not queue_set.has_work:
+            return False
+        channel = self.channels.get((node.node_id, runtime.op_id))
+        if channel is not None and channel.stalled:
+            return False
+        return True
+
+    # -- operator termination ---------------------------------------------------------------
+
+    def maybe_end(self, runtime: OperatorRuntime) -> None:
+        """Run the end-detection protocol if the operator just ended.
+
+        The ground truth is exact (``outstanding`` counting); the protocol
+        adds the paper's 4(n-1) messages and four network delays before the
+        termination takes effect (Section 4, "Detection of Operator End").
+        """
+        if not runtime.end_eligible:
+            return
+        runtime.ending = True
+        from .scheduler import run_end_detection  # late import (cycle)
+        self.env.process(run_end_detection(self, runtime),
+                         name=f"end:{runtime.label}")
+
+    def terminate_op(self, runtime: OperatorRuntime) -> None:
+        """Apply an operator's termination effects everywhere."""
+        if runtime.terminated:
+            return
+        runtime.terminated = True
+        runtime.ending = False
+        runtime.termination_time = self.env.now
+        self.metrics.op_end_times[runtime.op_id] = self.env.now
+
+        # 1. Unblock successors whose predecessors are now all done.
+        for other in self.ops.values():
+            if runtime.op_id in other.remaining_predecessors:
+                if other.predecessor_terminated(runtime.op_id):
+                    for node_id in other.home:
+                        self.nodes[node_id].queue_sets[other.op_id].set_blocked(False)
+                        self.nodes[node_id].lb_blocked_scopes.clear()
+                    if self.strategy is not None:
+                        self.strategy.on_op_unblocked(self, other)
+
+        # 2. Flush this operator's output channels, then mark the consumer's
+        #    producers done (order matters: flush first so every tuple is an
+        #    accounted activation before the consumer can look finished).
+        consumer_id = runtime.op.consumer_id
+        if consumer_id is not None:
+            for node_id in runtime.home:
+                channel = self.channels.get((node_id, runtime.op_id))
+                if channel is not None:
+                    channel.flush()
+            consumer = self.ops[consumer_id]
+            consumer.producers_done = True
+            self.maybe_end(consumer)
+
+        # 3. A probe's end releases its join's hash tables (on every node,
+        #    including stolen copies).
+        if runtime.kind is OpKind.PROBE:
+            for node in self.nodes:
+                node.store.release_join(runtime.op.join_id)
+
+        if self.strategy is not None:
+            self.strategy.on_op_terminated(self, runtime)
+
+        # 4. Root termination finishes the query.
+        if runtime.op_id == self.plan.operators.root_id:
+            self.finish()
+        else:
+            for node in self.nodes:
+                node.lb_blocked_scopes.clear()
+                node.wake_all()
+
+    def finish(self) -> None:
+        """Mark the query complete and wake everything so processes exit."""
+        if self.done:
+            return
+        self.done = True
+        self.response_time = self.env.now
+        self.metrics.response_time = self.env.now
+        if not self.finished.triggered:
+            self.finished.succeed()
+        for node in self.nodes:
+            node.wake_all()
+
+    # -- post-run verification -----------------------------------------------------------------
+
+    def assert_all_terminated(self) -> None:
+        """Raise :class:`ExecutionDeadlock` unless every operator ended."""
+        stuck = [r for r in self.ops.values() if not r.terminated]
+        if stuck:
+            detail = ", ".join(
+                f"{r.label}(blocked={r.blocked}, outstanding={r.outstanding}, "
+                f"producers_done={r.producers_done})"
+                for r in stuck
+            )
+            raise ExecutionDeadlock(f"operators never terminated: {detail}")
+
+    # strategy is attached by the executor before seeding.
+    strategy = None

@@ -1,0 +1,97 @@
+"""Execution metrics: everything the paper's evaluation section reads back.
+
+Response time is the headline number; the secondary observables back the
+paper's analyses:
+
+* per-thread busy/idle time ("processor idle time with DP is almost null
+  whereas it is quite significant with FP", Section 5.3);
+* network traffic by purpose — ``pipeline`` (data redistribution),
+  ``loadbalance`` (stolen activations + hash tables), ``control``
+  (starving/offer/end-detection/credit messages) — backing the Section
+  5.3 transfer-volume comparison (FP ≈ 9 MB vs DP ≈ 2.5 MB);
+* steal-round accounting;
+* tuple conservation counters used heavily by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ExecutionMetrics", "ExecutionResult"]
+
+
+@dataclass
+class ExecutionMetrics:
+    """Mutable counters filled in during one query execution."""
+
+    # --- time ----------------------------------------------------------------
+    response_time: float = 0.0
+    thread_busy_time: float = 0.0
+    thread_count: int = 0
+
+    # --- activations ------------------------------------------------------------
+    trigger_activations: int = 0
+    data_activations: int = 0
+    activations_processed: int = 0
+    suspensions: int = 0
+    foreign_queue_consumptions: int = 0
+
+    # --- tuples -------------------------------------------------------------------
+    tuples_scanned: int = 0
+    tuples_built: int = 0
+    tuples_probed: int = 0
+    result_tuples: int = 0
+
+    # --- network (mirrors of the Network counters) ---------------------------------
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    pipeline_bytes: int = 0
+    loadbalance_bytes: int = 0
+    control_bytes: int = 0
+    loadbalance_messages: int = 0
+
+    # --- global load balancing -------------------------------------------------------
+    steal_rounds: int = 0
+    steals_succeeded: int = 0
+    activations_stolen: int = 0
+    hash_bytes_shipped: int = 0
+    cache_hits: int = 0
+
+    # --- memory -------------------------------------------------------------------------
+    memory_high_watermark: int = 0
+
+    # --- per-operator termination times (op_id -> virtual seconds) -----------------------
+    op_end_times: dict[int, float] = field(default_factory=dict)
+
+    def idle_fraction(self) -> float:
+        """Fraction of processor-time the threads spent idle."""
+        if self.response_time <= 0 or self.thread_count == 0:
+            return 0.0
+        total = self.response_time * self.thread_count
+        return max(0.0, 1.0 - self.thread_busy_time / total)
+
+    def busy_fraction(self) -> float:
+        """Fraction of processor-time the threads spent working."""
+        if self.response_time <= 0 or self.thread_count == 0:
+            return 0.0
+        total = self.response_time * self.thread_count
+        return min(1.0, self.thread_busy_time / total)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """One query execution's outcome."""
+
+    plan_label: str
+    strategy: str
+    config_label: str
+    response_time: float
+    metrics: ExecutionMetrics
+
+    def __str__(self) -> str:
+        return (
+            f"{self.plan_label} [{self.strategy} on {self.config_label}]: "
+            f"{self.response_time:.3f}s, idle {self.metrics.idle_fraction():.1%}, "
+            f"{self.metrics.result_tuples} results"
+        )

@@ -1,0 +1,23 @@
+"""Execution strategies: DP (the paper's model), FP and SP baselines."""
+
+from .base import (
+    ExecutionStrategy,
+    StrategyError,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+from .dp import DynamicProcessing
+from .fp import FixedProcessing
+from .sp import SynchronousPipeliningExecutor
+
+__all__ = [
+    "ExecutionStrategy",
+    "StrategyError",
+    "make_strategy",
+    "register_strategy",
+    "strategy_names",
+    "DynamicProcessing",
+    "FixedProcessing",
+    "SynchronousPipeliningExecutor",
+]

@@ -1,0 +1,37 @@
+"""Dynamic Processing (DP): the paper's execution model.
+
+"The main property of our model is to allow any thread to process any
+activation of its SM-node.  Thus, there is no static association between
+threads and operators" (Section 3).  Idle threads imply a starving node
+("a thread gets idle only when there is no more activation of any
+operator"), so work stealing runs at node scope.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .base import ExecutionStrategy, register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..context import ExecutionContext
+    from ..thread_exec import ExecutionThread
+
+__all__ = ["DynamicProcessing"]
+
+
+@register_strategy
+class DynamicProcessing(ExecutionStrategy):
+    """No thread-to-operator association; node-scope stealing."""
+
+    name = "DP"
+
+    def initialize(self, context: "ExecutionContext") -> None:
+        for node in context.nodes:
+            for thread in node.threads:
+                thread.assigned_ops = None  # unrestricted
+
+    def steal_scopes(self, context: "ExecutionContext",
+                     thread: "ExecutionThread") -> list[Optional[int]]:
+        # One node-scope round: an idle DP thread means the node starves.
+        return [None]

@@ -1,0 +1,127 @@
+"""Fixed Processing (FP): the static, cost-model-driven baseline.
+
+Section 5.2.1: "For each pipeline chain, processors are statically
+allocated to operators based on a ratio of the estimated complexity,
+including CPU and I/O costs, of each operator versus the global complexity
+of the pipeline chain. ... We adapt this strategy for shared-memory,
+allowing intra-operator load balancing and call it fixed processing (FP)."
+
+Properties reproduced here:
+
+* allocation uses the *estimated* work (:attr:`ParallelExecutionPlan.
+  estimated_work`), so cost-model errors misallocate processors
+  (Figure 7);
+* allocation is discrete — with few processors the rounding error is
+  large (Figure 6's "discretization errors which worsen as the number of
+  processors decreases");
+* each SM-node allocates independently (Section 5.3);
+* a thread whose operator has no local work is *idle* even if other
+  operators starve for workers — it can only trigger per-operator work
+  stealing ("several starving situations can appear at the same SM-node",
+  and mutual stealing between nodes becomes possible).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ...catalog.skew import proportional_split
+from ...optimizer.operator_tree import OpKind
+from .base import ExecutionStrategy, register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..context import ExecutionContext
+    from ..opstate import OperatorRuntime
+    from ..thread_exec import ExecutionThread
+
+__all__ = ["FixedProcessing"]
+
+
+@register_strategy
+class FixedProcessing(ExecutionStrategy):
+    """Static thread-to-operator allocation per active pipeline chain."""
+
+    name = "FP"
+
+    def initialize(self, context: "ExecutionContext") -> None:
+        self.rebalance(context)
+
+    # -- allocation -----------------------------------------------------------
+
+    def _active_op_ids(self, context: "ExecutionContext", node_id: int) -> list[int]:
+        """Operators of currently active chains present on this node.
+
+        A chain is active once its driving scan is unblocked and while any
+        of its operators is unterminated.  With the paper's scheduling
+        heuristics there is one active chain at a time; the definition also
+        covers the concurrent-chains ablation (heuristic 2 off).
+        """
+        active: list[int] = []
+        for chain in context.plan.operators.chains:
+            source = context.ops[chain.source_id]
+            if source.blocked:
+                continue
+            for op_id in chain.op_ids:
+                runtime = context.ops[op_id]
+                if runtime.terminated or node_id not in runtime.home:
+                    continue
+                active.append(op_id)
+        return active
+
+    def rebalance(self, context: "ExecutionContext") -> None:
+        """(Re)allocate each node's threads over its active operators.
+
+        Proportional to estimated work, discrete, every active operator
+        getting at least one thread when there are enough threads — the
+        source of FP's discretization error.
+        """
+        estimates = context.plan.estimated_work
+        for node in context.nodes:
+            op_ids = self._active_op_ids(context, node.node_id)
+            threads = node.threads
+            if not op_ids:
+                for thread in threads:
+                    thread.assigned_ops = set()
+                continue
+            k = len(threads)
+            weights = [max(estimates.get(op_id, 1.0), 1.0) for op_id in op_ids]
+            if k >= len(op_ids):
+                extra = proportional_split(k - len(op_ids), weights)
+                counts = [1 + e for e in extra]
+                assignment: list[set[int]] = []
+                for op_id, count in zip(op_ids, counts):
+                    assignment.extend({op_id} for _ in range(count))
+            else:
+                # Degenerate configuration (fewer processors than
+                # operators): threads own several operators round-robin,
+                # keeping the execution live.
+                assignment = [set() for _ in range(k)]
+                order = sorted(range(len(op_ids)),
+                               key=lambda i: -weights[i])
+                for position, op_index in enumerate(order):
+                    assignment[position % k].add(op_ids[op_index])
+            for thread, ops in zip(threads, assignment):
+                thread.assigned_ops = ops
+            node.wake_all()
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def on_op_unblocked(self, context: "ExecutionContext",
+                        runtime: "OperatorRuntime") -> None:
+        # A chain transition (its driving scan unblocking) re-allocates;
+        # unblocking of probes inside the active chain is covered by the
+        # same rebalance and is idempotent.
+        self.rebalance(context)
+
+    def steal_scopes(self, context: "ExecutionContext",
+                     thread: "ExecutionThread") -> list[Optional[int]]:
+        """Per-operator rounds, probe operators only (Section 5.3)."""
+        if not thread.assigned_ops:
+            return []
+        scopes = []
+        for op_id in sorted(thread.assigned_ops):
+            runtime = context.ops[op_id]
+            if (runtime.kind is OpKind.PROBE and not runtime.terminated
+                    and not runtime.blocked):
+                scopes.append(op_id)
+        return scopes

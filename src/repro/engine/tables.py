@@ -1,0 +1,124 @@
+"""Hash-table bookkeeping per bucket group (build side of each join).
+
+The engine never materializes tuples; a "hash table" is an accounted tuple
+count and byte size per bucket group.  The invariant that makes group
+accounting sufficient (see :mod:`repro.engine.routing`): the build and
+probe operators of a join share the bucket space, and a bucket group's
+probe activations match exactly the hash data built for that same group.
+
+Memory for hash tables is charged against the owning SM-node (Section 3.2,
+condition (i) of global load balancing needs the requester's free memory;
+Section 2.2 assumes each pipeline chain fits in memory).
+
+Stolen copies (global load balancing) are tracked separately per node so
+the stolen-queue cache (Section 4) can answer "is this group's data
+already here?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.machine import SMNode
+from .activation import GroupId
+
+__all__ = ["GroupTable", "HashTableStore"]
+
+
+@dataclass
+class GroupTable:
+    """Accounted hash data of one bucket group of one join."""
+
+    join_id: int
+    group: GroupId
+    tuples: int = 0
+    nbytes: int = 0
+
+    def insert(self, tuples: int, tuple_size: int) -> int:
+        """Account ``tuples`` inserted; returns the bytes added."""
+        added = tuples * tuple_size
+        self.tuples += tuples
+        self.nbytes += added
+        return added
+
+
+class HashTableStore:
+    """Per-node store of locally built tables and stolen copies."""
+
+    def __init__(self, node: SMNode):
+        self.node = node
+        self._built: dict[tuple[int, GroupId], GroupTable] = {}
+        self._copies: dict[tuple[int, GroupId], GroupTable] = {}
+
+    # -- build side ------------------------------------------------------------
+
+    def insert(self, join_id: int, group: GroupId, tuples: int,
+               tuple_size: int) -> None:
+        """Insert build tuples into the group's local table (charges memory)."""
+        key = (join_id, group)
+        table = self._built.get(key)
+        if table is None:
+            table = GroupTable(join_id, group)
+            self._built[key] = table
+        added = table.insert(tuples, tuple_size)
+        self.node.reserve(added)
+
+    def local_table(self, join_id: int, group: GroupId) -> Optional[GroupTable]:
+        """The locally built table for a group, if any tuples were built."""
+        return self._built.get((join_id, group))
+
+    def table_bytes(self, join_id: int, group: GroupId) -> int:
+        """Size of the locally built table for ``group`` (0 if empty)."""
+        table = self._built.get((join_id, group))
+        return table.nbytes if table else 0
+
+    # -- stolen copies (global load balancing) ----------------------------------
+
+    def install_copy(self, join_id: int, group: GroupId, tuples: int,
+                     nbytes: int) -> None:
+        """Install a shipped copy of a remote group's hash table."""
+        key = (join_id, group)
+        if key in self._copies:
+            raise ValueError(f"copy of {key} already installed")
+        self._copies[key] = GroupTable(join_id, group, tuples, nbytes)
+        self.node.reserve(nbytes)
+
+    def has_copy(self, join_id: int, group: GroupId) -> bool:
+        """Stolen-queue cache check (Section 4 optimization)."""
+        return (join_id, group) in self._copies
+
+    def probe_table(self, join_id: int, group: GroupId) -> Optional[GroupTable]:
+        """The table a probe of ``group`` should use on this node.
+
+        The locally built table for local groups, or an installed copy for
+        stolen groups.
+        """
+        key = (join_id, group)
+        if key in self._built:
+            return self._built[key]
+        return self._copies.get(key)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def release_join(self, join_id: int) -> int:
+        """Free all tables of a join (after its probe terminates).
+
+        Returns the bytes released.
+        """
+        released = 0
+        for store in (self._built, self._copies):
+            doomed = [key for key in store if key[0] == join_id]
+            for key in doomed:
+                released += store[key].nbytes
+                del store[key]
+        if released:
+            self.node.release(released)
+        return released
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by all tables on this node."""
+        return (
+            sum(t.nbytes for t in self._built.values())
+            + sum(t.nbytes for t in self._copies.values())
+        )

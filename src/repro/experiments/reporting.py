@@ -1,0 +1,44 @@
+"""ASCII reporting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .methodology import Series
+
+__all__ = ["format_table", "format_series_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple aligned ASCII table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(map(str, headers), widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(series: Sequence[Series], x_label: str,
+                        title: str = "", fmt: str = "{:.3f}") -> str:
+    """Render several series sharing an x-axis as one table."""
+    xs = sorted({x for s in series for x, _ in s.points})
+    headers = [x_label] + [s.name for s in series]
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for s in series:
+            try:
+                row.append(fmt.format(s.y_at(x)))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,155 @@
+"""Run the full evaluation and write EXPERIMENTS.md.
+
+Usage (installed as ``repro-experiments``)::
+
+    repro-experiments                      # everything, default options
+    repro-experiments --only fig6 fig9     # a subset
+    repro-experiments --plans 12           # fewer plans per point (faster)
+    repro-experiments --quick              # smallest meaningful setting
+    repro-experiments --output results.md  # where to write the report
+
+Every experiment prints its table to stdout as it completes and the
+combined report records paper-vs-measured for each figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Callable, Optional
+
+from . import figure6, figure7, figure8, figure9, figure10, section53
+from .config import DISK_TABLE, NETWORK_TABLE, ExperimentOptions
+from .reporting import format_table
+
+__all__ = ["main", "run_all", "EXPERIMENTS"]
+
+
+def _params_report() -> str:
+    return (
+        format_table(["Network Parameters", "Values"], NETWORK_TABLE,
+                     title="Section 5.1.1 network parameters")
+        + "\n\n"
+        + format_table(["Disk Parameters", "Values"], DISK_TABLE,
+                       title="Section 5.1.1 disk parameters")
+    )
+
+
+#: experiment id -> (description, runner returning (table, expectation)).
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "params": (
+        "Section 5.1.1 parameter tables",
+        lambda options: (_params_report(), "Reproduced verbatim as defaults."),
+    ),
+    "fig6": (
+        "Figure 6: SP/DP/FP relative performance",
+        lambda options: (
+            (lambda r: (r.table(), figure6.PAPER_EXPECTATION))(figure6.run(options))
+        ),
+    ),
+    "fig7": (
+        "Figure 7: FP vs cost-model error",
+        lambda options: (
+            (lambda r: (r.table(), figure7.PAPER_EXPECTATION))(figure7.run(options))
+        ),
+    ),
+    "fig8": (
+        "Figure 8: speedup",
+        lambda options: (
+            (lambda r: (r.table(), figure8.PAPER_EXPECTATION))(figure8.run(options))
+        ),
+    ),
+    "fig9": (
+        "Figure 9: DP vs redistribution skew",
+        lambda options: (
+            (lambda r: (r.table(), figure9.PAPER_EXPECTATION))(figure9.run(options))
+        ),
+    ),
+    "fig10": (
+        "Figure 10: DP vs FP, hierarchical",
+        lambda options: (
+            (lambda r: (r.table(), figure10.PAPER_EXPECTATION))(figure10.run(options))
+        ),
+    ),
+    "sec53": (
+        "Section 5.3: LB transfer volume",
+        lambda options: (
+            (lambda r: (r.table(), section53.PAPER_EXPECTATION))(section53.run(options))
+        ),
+    ),
+}
+
+
+def run_all(options: Optional[ExperimentOptions] = None,
+            only: Optional[list[str]] = None,
+            output: Optional[str] = None,
+            echo: bool = True) -> str:
+    """Run the selected experiments and return the combined report."""
+    options = options or ExperimentOptions()
+    selected = only or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
+    sections = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Reproduction of *Dynamic Load Balancing in Hierarchical Parallel "
+        "Database Systems* (Bouganim, Florescu, Valduriez, 1996).",
+        "",
+        f"Options: plans={options.plans}, scale={options.scale}, "
+        f"workload queries={options.workload_queries}, seed={options.seed}.",
+        "",
+    ]
+    for name in selected:
+        description, runner = EXPERIMENTS[name]
+        started = time.time()
+        table, expectation = runner(options)
+        elapsed = time.time() - started
+        block = (
+            f"## {name}: {description}\n\n"
+            f"**Paper expectation.** {expectation}\n\n"
+            f"**Measured** (wall {elapsed:.0f}s):\n\n"
+            f"```\n{table}\n```\n"
+        )
+        sections.append(block)
+        if echo:
+            print(block)
+            sys.stdout.flush()
+    report = "\n".join(sections)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(report)
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument("--only", nargs="*", default=None,
+                        help=f"subset of experiments: {list(EXPERIMENTS)}")
+    parser.add_argument("--plans", type=int, default=None,
+                        help="plans per measurement point (default 40)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default 0.01; 1.0 = paper size)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest meaningful setting (4 plans)")
+    parser.add_argument("--output", default="EXPERIMENTS.md",
+                        help="report path (default EXPERIMENTS.md)")
+    args = parser.parse_args(argv)
+
+    options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
+    if args.plans is not None:
+        options = replace(options, plans=args.plans)
+    if args.scale is not None:
+        options = replace(options, scale=args.scale)
+    run_all(options, only=args.only, output=args.output)
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

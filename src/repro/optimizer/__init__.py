@@ -1,0 +1,78 @@
+"""Parallel query optimization: join trees, costs, search, plans."""
+
+from .cost import CardinalityEstimator, CostModel, CostParams, distort_cardinalities
+from .homes import HomeError, all_nodes_homes, derived_homes, validate_homes
+from .join_tree import (
+    BaseNode,
+    JoinNode,
+    JoinTree,
+    is_left_deep,
+    is_right_deep,
+    is_zigzag,
+    joins,
+    leaves,
+    tree_signature,
+    validate_tree,
+)
+from .operator_tree import (
+    Edge,
+    EdgeKind,
+    Operator,
+    OperatorTree,
+    OpKind,
+    PipelineChain,
+    macro_expand,
+)
+from .plan import ParallelExecutionPlan, compile_plan, estimate_operator_work
+from .scheduling import Schedule, ScheduleError, build_schedule, chain_total_order
+from .search import BushySearch, PlanCandidate, best_bushy_trees
+from .shapes import (
+    connected_orders,
+    left_deep_tree,
+    right_deep_tree,
+    segmented_right_deep_tree,
+    zigzag_tree,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "CostParams",
+    "distort_cardinalities",
+    "HomeError",
+    "all_nodes_homes",
+    "derived_homes",
+    "validate_homes",
+    "BaseNode",
+    "JoinNode",
+    "JoinTree",
+    "is_left_deep",
+    "is_right_deep",
+    "is_zigzag",
+    "joins",
+    "leaves",
+    "tree_signature",
+    "validate_tree",
+    "Edge",
+    "EdgeKind",
+    "Operator",
+    "OperatorTree",
+    "OpKind",
+    "PipelineChain",
+    "macro_expand",
+    "ParallelExecutionPlan",
+    "compile_plan",
+    "estimate_operator_work",
+    "Schedule",
+    "ScheduleError",
+    "build_schedule",
+    "chain_total_order",
+    "BushySearch",
+    "PlanCandidate",
+    "best_bushy_trees",
+    "connected_orders",
+    "left_deep_tree",
+    "right_deep_tree",
+    "segmented_right_deep_tree",
+    "zigzag_tree",
+]

@@ -1,0 +1,107 @@
+"""Operator homes: which SM-nodes may execute each operator.
+
+Section 2.2: "it is more important to decide the set of SM-nodes where an
+operator is executed, which we call operator home, rather than the set of
+participating processors.  Thus, the parallel execution plan provides
+operator homes that respect the following obvious constraints: (i) the
+home of a scan operator is that of the scanned relation; and (ii) the
+build and probe operators of the same join have necessarily the same
+home."
+
+For the performance evaluation the paper assumes full declustering: "all
+SM-nodes are allocated to all operators of the plan" — that is
+:func:`all_nodes_homes`.  :func:`derived_homes` supports the general case
+(e.g. the Section 3.3 two-node example where node A only scans R).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..catalog.partitioning import RelationPlacement
+from .operator_tree import OperatorTree, OpKind
+
+__all__ = ["HomeError", "all_nodes_homes", "derived_homes", "validate_homes"]
+
+
+class HomeError(ValueError):
+    """Raised when operator homes violate the plan constraints."""
+
+
+def all_nodes_homes(tree: OperatorTree, nodes: Sequence[int]) -> dict[int, tuple[int, ...]]:
+    """Every operator on every node (the experiments' assumption)."""
+    home = tuple(sorted(nodes))
+    if not home:
+        raise HomeError("need at least one node")
+    return {op.op_id: home for op in tree}
+
+
+def derived_homes(tree: OperatorTree,
+                  placements: Mapping[str, RelationPlacement],
+                  join_home: Mapping[int, Sequence[int]] | None = None,
+                  default_nodes: Sequence[int] = ()) -> dict[int, tuple[int, ...]]:
+    """Homes derived from relation placements and explicit join homes.
+
+    * scans live where their relation lives (constraint (i));
+    * a join's build and probe share ``join_home[join_id]`` when given,
+      otherwise ``default_nodes``, otherwise the union of the homes of
+      their pipelined producers.
+    """
+    homes: dict[int, tuple[int, ...]] = {}
+    for op in tree:
+        if op.kind is OpKind.SCAN:
+            placement = placements.get(op.relation.name)
+            if placement is None:
+                raise HomeError(f"no placement for relation {op.relation.name}")
+            homes[op.op_id] = tuple(placement.home)
+
+    def resolve_join(join_id: int, build_id: int, probe_id: int) -> tuple[int, ...]:
+        if join_home and join_id in join_home:
+            return tuple(sorted(join_home[join_id]))
+        if default_nodes:
+            return tuple(sorted(default_nodes))
+        producers = tree.pipeline_producers(build_id) + tree.pipeline_producers(probe_id)
+        union: set[int] = set()
+        for producer in producers:
+            union.update(homes.get(producer, ()))
+        if not union:
+            raise HomeError(f"cannot derive home for join {join_id}")
+        return tuple(sorted(union))
+
+    # Builds/probes in id order: producers are always expanded (and hence
+    # resolved) before their consumers.
+    for op in sorted((o for o in tree if o.kind is not OpKind.SCAN),
+                     key=lambda o: o.op_id):
+        if op.kind is OpKind.BUILD:
+            probe_id = tree.probe_of(op.op_id)
+            home = resolve_join(op.join_id, op.op_id, probe_id)
+            homes[op.op_id] = home
+            homes[probe_id] = home
+    return homes
+
+
+def validate_homes(tree: OperatorTree, homes: Mapping[int, tuple[int, ...]],
+                   placements: Mapping[str, RelationPlacement]) -> None:
+    """Check constraints (i) and (ii) of Section 2.2; raise :class:`HomeError`."""
+    for op in tree:
+        home = homes.get(op.op_id)
+        if not home:
+            raise HomeError(f"operator {op.label} has no home")
+        if tuple(sorted(home)) != tuple(home):
+            raise HomeError(f"operator {op.label} home must be sorted: {home}")
+        if op.kind is OpKind.SCAN:
+            placement = placements.get(op.relation.name)
+            if placement is None:
+                raise HomeError(f"no placement for relation {op.relation.name}")
+            if tuple(placement.home) != tuple(home):
+                raise HomeError(
+                    f"scan {op.label} home {home} differs from relation home "
+                    f"{tuple(placement.home)} (constraint (i))"
+                )
+    for probe in tree.probes():
+        build_id = tree.build_of(probe.op_id)
+        if homes[probe.op_id] != homes[build_id]:
+            raise HomeError(
+                f"build/probe of join {probe.join_id} have different homes "
+                f"(constraint (ii)): {homes[build_id]} vs {homes[probe.op_id]}"
+            )

@@ -1,0 +1,177 @@
+"""Join-tree shape constructors: left-deep, right-deep, zigzag, segmented.
+
+Section 2.2 of the paper surveys the join-tree shapes of the literature
+("left-deep, right-deep, segmented right-deep, zigzag [Ziane93] or bushy")
+before settling on bushy trees for the evaluation.  These constructors
+build each shape from a relation order, so experiments and tests can
+compare the execution model across shapes — e.g. right-deep trees maximize
+pipeline length (one long probe chain), left-deep trees serialize into
+build-after-build.
+
+All constructors validate against the query graph: consecutive relations
+in the effective join order must be connected to the already-joined set
+(no cross products), which for tree-shaped graphs means the order must be
+a *connected enumeration* of the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..query.graph import GraphError, QueryGraph
+from .join_tree import BaseNode, JoinNode, JoinTree
+
+__all__ = [
+    "left_deep_tree",
+    "right_deep_tree",
+    "zigzag_tree",
+    "segmented_right_deep_tree",
+    "connected_orders",
+]
+
+
+def _edge_selectivity(graph: QueryGraph, joined: frozenset[str],
+                      newcomer: str) -> float:
+    """Selectivity of the single edge linking ``newcomer`` to ``joined``."""
+    edges = graph.connecting_edges(joined, frozenset((newcomer,)))
+    if len(edges) != 1:
+        raise GraphError(
+            f"{newcomer} connects to the joined set through {len(edges)} "
+            f"edges; a valid join order needs exactly one"
+        )
+    return edges[0].selectivity
+
+
+def left_deep_tree(graph: QueryGraph, order: Sequence[str]) -> JoinTree:
+    """Left-deep tree: the composite is always the build side.
+
+    Every probe child is a base relation, so each join's probe input can
+    stream from a scan, but the composite must be re-hashed at every
+    level — the shape with the least pipelining.
+    """
+    _validate_order(graph, order)
+    tree: JoinTree = BaseNode(graph.relation(order[0]))
+    for name in order[1:]:
+        selectivity = _edge_selectivity(graph, tree.relations, name)
+        tree = JoinNode(tree, BaseNode(graph.relation(name)), selectivity)
+    return tree
+
+
+def right_deep_tree(graph: QueryGraph, order: Sequence[str]) -> JoinTree:
+    """Right-deep tree: every build side is a base relation.
+
+    All hash tables are built from base relations, and the *first*
+    relation in ``order`` streams through every probe — one maximal
+    pipeline chain, the shape with the most pipelining (and the highest
+    simultaneous memory demand, since all hash tables coexist).
+    """
+    _validate_order(graph, order)
+    tree: JoinTree = BaseNode(graph.relation(order[0]))
+    for name in order[1:]:
+        selectivity = _edge_selectivity(graph, tree.relations, name)
+        tree = JoinNode(BaseNode(graph.relation(name)), tree, selectivity)
+    return tree
+
+
+def zigzag_tree(graph: QueryGraph, order: Sequence[str],
+                pattern: Optional[Sequence[bool]] = None) -> JoinTree:
+    """Zigzag tree [Ziane93]: each join keeps one base-relation child.
+
+    ``pattern[i]`` chooses the orientation of the i-th join: True hashes
+    the newcomer (right-deep step), False hashes the composite (left-deep
+    step).  The default alternates, the canonical zigzag.
+    """
+    _validate_order(graph, order)
+    steps = len(order) - 1
+    if pattern is None:
+        pattern = [i % 2 == 0 for i in range(steps)]
+    if len(pattern) != steps:
+        raise ValueError(
+            f"pattern needs {steps} entries for {len(order)} relations, "
+            f"got {len(pattern)}"
+        )
+    tree: JoinTree = BaseNode(graph.relation(order[0]))
+    for name, hash_newcomer in zip(order[1:], pattern):
+        selectivity = _edge_selectivity(graph, tree.relations, name)
+        newcomer = BaseNode(graph.relation(name))
+        if hash_newcomer:
+            tree = JoinNode(newcomer, tree, selectivity)
+        else:
+            tree = JoinNode(tree, newcomer, selectivity)
+    return tree
+
+
+def segmented_right_deep_tree(graph: QueryGraph, order: Sequence[str],
+                              segment_size: int) -> JoinTree:
+    """Segmented right-deep tree: bounded-length pipeline segments.
+
+    Joins ``order`` forward; within a segment each newcomer is hashed and
+    the running composite streams (right-deep steps).  After
+    ``segment_size - 1`` joins the composite itself is hashed once
+    (materialization point) and a fresh pipeline segment starts — bounding
+    how many hash tables coexist, the memory argument for segmenting
+    right-deep plans.
+    """
+    _validate_order(graph, order)
+    if segment_size < 2:
+        raise ValueError(f"segment_size must be >= 2, got {segment_size}")
+    tree: JoinTree = BaseNode(graph.relation(order[0]))
+    joins_in_segment = 0
+    for name in order[1:]:
+        selectivity = _edge_selectivity(graph, tree.relations, name)
+        newcomer = BaseNode(graph.relation(name))
+        if joins_in_segment < segment_size - 1:
+            tree = JoinNode(newcomer, tree, selectivity)
+            joins_in_segment += 1
+        else:
+            tree = JoinNode(tree, newcomer, selectivity)
+            joins_in_segment = 0
+    return tree
+
+
+def connected_orders(graph: QueryGraph, limit: int = 1000) -> list[list[str]]:
+    """Enumerate join orders that never form a cross product.
+
+    For a tree-shaped graph these are the *connected enumerations*: every
+    prefix induces a connected subgraph.  Enumeration stops at ``limit``
+    orders (12-relation stars have thousands).
+    """
+    orders: list[list[str]] = []
+
+    def extend(prefix: list[str], joined: frozenset[str]) -> None:
+        if len(orders) >= limit:
+            return
+        if len(prefix) == len(graph):
+            orders.append(list(prefix))
+            return
+        frontier = sorted({
+            neighbor
+            for name in joined
+            for neighbor in graph.neighbors(name)
+            if neighbor not in joined
+        })
+        for name in frontier:
+            extend(prefix + [name], joined | {name})
+
+    for start in graph.names:
+        if len(orders) >= limit:
+            break
+        extend([start], frozenset((start,)))
+    return orders
+
+
+def _validate_order(graph: QueryGraph, order: Sequence[str]) -> None:
+    if len(order) != len(graph):
+        raise GraphError(
+            f"order covers {len(order)} relations, graph has {len(graph)}"
+        )
+    if set(order) != set(graph.names):
+        raise GraphError("order must be a permutation of the graph's relations")
+    joined = frozenset((order[0],))
+    for name in order[1:]:
+        if not graph.connecting_edges(joined, frozenset((name,))):
+            raise GraphError(
+                f"{name} is not connected to {sorted(joined)}: the order "
+                f"would form a cross product"
+            )
+        joined = joined | {name}

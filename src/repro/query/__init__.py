@@ -1,0 +1,13 @@
+"""Query workloads: predicate graphs and the random query generator."""
+
+from .generator import QueryGenerator, QueryGeneratorConfig, random_tree_edges
+from .graph import GraphError, JoinEdge, QueryGraph
+
+__all__ = [
+    "GraphError",
+    "JoinEdge",
+    "QueryGraph",
+    "QueryGenerator",
+    "QueryGeneratorConfig",
+    "random_tree_edges",
+]

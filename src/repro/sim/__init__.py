@@ -1,0 +1,43 @@
+"""Simulation substrate: event kernel, machine, disks, network, RNG.
+
+This subpackage stands in for the paper's 72-processor KSR1 testbed (see
+DESIGN.md, "Substitutions").  Everything above it — the execution engine,
+the strategies, the experiments — runs unchanged in virtual time.
+"""
+
+from .core import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .disk import AsyncReadHandle, Disk, DiskParams
+from .machine import KB, MB, PAGE_SIZE, Machine, MachineConfig, MemoryExhausted, SMNode
+from .network import Message, Network, NetworkParams
+from .rng import RandomStreams, derive_seed
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "AsyncReadHandle",
+    "Disk",
+    "DiskParams",
+    "KB",
+    "MB",
+    "PAGE_SIZE",
+    "Machine",
+    "MachineConfig",
+    "MemoryExhausted",
+    "SMNode",
+    "Message",
+    "Network",
+    "NetworkParams",
+    "RandomStreams",
+    "derive_seed",
+]

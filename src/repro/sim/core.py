@@ -1,0 +1,349 @@
+"""Discrete-event simulation kernel.
+
+This module replaces the paper's physical 72-processor KSR1 with a
+deterministic virtual-time substrate.  The paper itself simulated the
+execution of atomic operators on top of a real thread implementation
+(Section 5); here both layers run in virtual time, which makes speedup and
+load-balancing measurements deterministic and independent of the host
+machine (and of the Python GIL).
+
+The kernel is a small, simpy-flavoured engine:
+
+* :class:`Environment` owns the event heap and the virtual clock.
+* :class:`Process` wraps a generator; the generator *yields* objects that
+  describe what the process waits for:
+
+  - :class:`Timeout` — resume after a fixed virtual delay,
+  - :class:`Event` — resume when the event is succeeded by someone else,
+  - another :class:`Process` — resume when that process terminates,
+  - ``None`` — resume immediately (a cooperative yield point).
+
+* Nested generators compose with plain ``yield from``, which is exactly the
+  "suspension by procedure call" mechanism of the paper's execution threads
+  (Section 3.1): suspending the current activation and processing another is
+  a sub-generator invocation, not an OS context switch.
+
+Events fire in (time, priority, sequence) order, so simultaneous events are
+processed deterministically in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "NORMAL",
+    "HIGH",
+    "LOW",
+]
+
+#: Event priorities: lower value fires earlier at equal timestamps.
+HIGH = 0
+NORMAL = 1
+LOW = 2
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, running without processes)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The engine does not use interrupts itself; they are available for
+    strategies that need to cancel a waiting thread (e.g. tearing down an
+    execution early in tests).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    schedules all waiting callbacks at the current virtual time.  Waiting on
+    an already-triggered event resumes the waiter immediately, which makes
+    "check then wait" races impossible in the single-threaded kernel.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_fired", "name")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.name = name
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._fired = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callbacks have run (its time has passed)."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """False if the event carries an exception (see :meth:`fail`)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload passed to :meth:`succeed` (or the failure exception)."""
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event, resuming all waiters at the current time."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self.env._schedule_event(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event so that waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule_event(self, priority)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env, name=f"timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule_at(env.now + delay, self, priority)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator's ``return`` value becomes the event value, so a parent can
+    ``result = yield child_process``.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time (deterministically ordered
+        # after whatever is currently executing).
+        bootstrap = Event(env, name=f"init:{self.name}")
+        bootstrap._triggered = True
+        env._schedule_at(env.now, bootstrap, NORMAL)
+        bootstrap.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target._triggered:
+            # Detach from the event we were waiting on.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        kicker = Event(self.env, name=f"interrupt:{self.name}")
+        kicker._triggered = True
+        kicker._ok = False
+        kicker._value = Interrupt(cause)
+        self.env._schedule_at(self.env.now, kicker, HIGH)
+        kicker.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as termination.
+            if not self._triggered:
+                self.succeed(None)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            # Cooperative yield: resume on the next scheduling round.
+            target = Timeout(self.env, 0)
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected an Event, "
+                f"Timeout, Process or None"
+            )
+        self._waiting_on = target
+        if target._fired:
+            # Already fired in a past round: resume immediately.
+            immediate = Event(self.env, name=f"resume:{self.name}")
+            immediate._triggered = True
+            immediate._ok = target._ok
+            immediate._value = target._value
+            self.env._schedule_at(self.env.now, immediate, NORMAL)
+            immediate.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The virtual-time scheduler.
+
+    All simulation state (clock, event heap) lives here.  Typical use::
+
+        env = Environment()
+        env.process(worker(env))
+        env.run()
+        print(env.now)
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active = True
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by convention in this repo)."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event, priority: int) -> None:
+        heapq.heappush(self._heap, (when, priority, next(self._counter), event))
+
+    def _schedule_event(self, event: Event, priority: int) -> None:
+        self._schedule_at(self._now, event, priority)
+
+    # -- public API -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains (or virtual time passes ``until``).
+
+        Returns the final virtual time.  A non-empty heap at ``until`` leaves
+        the remaining events in place so the run can be resumed.
+        """
+        while self._heap:
+            when, _prio, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            event._fired = True
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        return self._now
+
+    def peek(self) -> float:
+        """Virtual time of the next scheduled event (``inf`` when drained)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """An event that succeeds once every event in ``events`` has fired.
+
+        "Fired" means the event's time has passed and its callbacks ran —
+        a scheduled-but-future :class:`Timeout` still counts as pending.
+        """
+        events = list(events)
+        gate = self.event(name)
+        remaining = len(events)
+        if remaining == 0:
+            gate.succeed([])
+            return gate
+        results: list[Any] = [None] * remaining
+
+        def make_cb(index: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                nonlocal remaining
+                results[index] = ev.value
+                remaining -= 1
+                if remaining == 0 and not gate.triggered:
+                    gate.succeed(results)
+            return cb
+
+        for i, ev in enumerate(events):
+            if ev.fired:
+                results[i] = ev.value
+                remaining -= 1
+            else:
+                ev.callbacks.append(make_cb(i))
+        if remaining == 0 and not gate.triggered:
+            gate.succeed(results)
+        return gate
+
+    def any_of(self, events: Iterable[Event], name: str = "any_of") -> Event:
+        """An event that succeeds when the first of ``events`` fires."""
+        events = list(events)
+        gate = self.event(name)
+        for ev in events:
+            if ev.fired:
+                gate.succeed(ev.value)
+                return gate
+
+        def cb(ev: Event) -> None:
+            if not gate.triggered:
+                gate.succeed(ev.value)
+
+        for ev in events:
+            ev.callbacks.append(cb)
+        return gate

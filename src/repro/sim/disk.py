@@ -1,0 +1,161 @@
+"""Disk service model with asynchronous I/O and a small I/O cache.
+
+Reproduces the paper's simulated-disk parameters (Section 5.1.1):
+
+=============================  =================
+Nb. of disks                   1 per processor
+Disk latency                   17 ms
+Seek time                      5 ms
+Transfer rate                  6 MB/s
+CPU cost for async I/O init    5000 instr
+I/O cache size                 8 pages
+=============================  =================
+
+The model:
+
+* each disk serves requests FIFO (a single arm);
+* a request for ``n`` pages costs ``latency + seek + n * page/transfer``;
+* the I/O cache prefetches up to ``io_cache_pages`` pages ahead on a
+  sequential stream, so a reader that processes pages slower than the disk
+  delivers them pays the disk price only once (latency hiding — exactly the
+  reason the paper multiplexes I/O with data processing);
+* issuing an asynchronous read costs the *calling thread*
+  ``async_init_instructions`` of CPU, charged by the caller (the engine's
+  execution threads), not here.
+
+The engine drives disks through :class:`AsyncReadHandle`: start a read,
+keep executing other activations, test completion, and finally consume the
+pages — the ``IO_InitAsync``/``IO_Read`` pattern of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core import Environment, Event
+
+__all__ = ["DiskParams", "Disk", "AsyncReadHandle"]
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Disk timing parameters (defaults from the paper, Section 5.1.1)."""
+
+    latency: float = 17e-3
+    seek_time: float = 5e-3
+    transfer_rate: float = 6 * 1024 * 1024
+    async_init_instructions: int = 5000
+    io_cache_pages: int = 8
+    page_size: int = 8 * 1024
+
+    def service_time(self, pages: int) -> float:
+        """Wall time for one synchronous request of ``pages`` pages."""
+        if pages <= 0:
+            raise ValueError(f"pages must be positive, got {pages}")
+        return self.latency + self.seek_time + pages * self.page_size / self.transfer_rate
+
+    def sequential_time(self, pages: int) -> float:
+        """Wall time to stream ``pages`` sequential pages (one seek)."""
+        if pages <= 0:
+            raise ValueError(f"pages must be positive, got {pages}")
+        return self.latency + self.seek_time + pages * self.page_size / self.transfer_rate
+
+
+class AsyncReadHandle:
+    """In-flight asynchronous read: poll with :attr:`done`, wait on :attr:`event`.
+
+    Mirrors the paper's ``IoRequest`` returned by ``IO_InitAsync``.  The
+    engine's threads poll ``done`` and, when false, go process another
+    activation instead of blocking (Section 4, "Activation Execution").
+    """
+
+    __slots__ = ("event", "pages", "issued_at")
+
+    def __init__(self, event: Event, pages: int, issued_at: float):
+        self.event = event
+        self.pages = pages
+        self.issued_at = issued_at
+
+    @property
+    def done(self) -> bool:
+        """True once the pages have arrived in memory."""
+        return self.event.fired
+
+
+class Disk:
+    """One disk arm with FIFO queueing and sequential-prefetch batching.
+
+    The disk is modelled as a server whose busy period extends as requests
+    arrive: a request issued while the disk is busy starts when the previous
+    ones finish.  This captures the contention that makes the *number* of
+    disks (one per processor) matter in the speedup experiments.
+    """
+
+    def __init__(self, env: Environment, params: DiskParams, name: str = "disk"):
+        self.env = env
+        self.params = params
+        self.name = name
+        self._busy_until = 0.0
+        self._last_stream: object = None
+        #: per sequential stream: when its last request's data (plus the
+        #: cache's read-ahead) became available.
+        self._stream_ready: dict[object, float] = {}
+        # --- statistics -------------------------------------------------
+        self.requests = 0
+        self.pages_read = 0
+        self.busy_time = 0.0
+
+    def read_async(self, pages: int, stream: object = None) -> AsyncReadHandle:
+        """Issue an asynchronous read of ``pages`` pages.
+
+        Returns immediately with a handle; the handle's event fires when the
+        transfer completes.  The CPU cost of *issuing* the request
+        (``async_init_instructions``) is charged by the calling thread.
+
+        ``stream`` identifies a sequential read stream.  The paper's
+        8-page I/O cache prefetches sequentially ahead of the reader, so a
+        request continuing a stream (a) pays no latency/seek and (b) may
+        find its pages already read: the cache started fetching them right
+        after the previous request on the stream completed, overlapping
+        the reader's CPU time.  A stream switch pays the full latency +
+        seek and restarts the read-ahead.
+        """
+        if pages <= 0:
+            raise ValueError(f"pages must be positive, got {pages}")
+        if pages > 0 and self.params.io_cache_pages > 0:
+            prefetchable = pages <= self.params.io_cache_pages
+        else:
+            prefetchable = False
+        now = self.env.now
+        transfer = pages * self.params.page_size / self.params.transfer_rate
+        sequential = (stream is not None and stream == self._last_stream
+                      and stream in self._stream_ready)
+        if sequential:
+            if prefetchable:
+                # The cache began reading these pages when the previous
+                # request on the stream finished; they are ready at
+                # prev_ready + transfer, possibly already in the past.
+                ready = max(self._stream_ready[stream] + transfer, now)
+                finish = ready
+            else:
+                finish = max(now, self._busy_until) + transfer
+            self.busy_time += transfer
+        else:
+            service = self.params.service_time(pages)
+            finish = max(now, self._busy_until) + service
+            self.busy_time += service
+        self._last_stream = stream
+        if stream is not None:
+            self._stream_ready[stream] = finish
+        self._busy_until = max(self._busy_until, finish)
+        self.requests += 1
+        self.pages_read += pages
+        done = self.env.timeout(finish - now, value=pages)
+        return AsyncReadHandle(done, pages, now)
+
+    @property
+    def utilization_until_now(self) -> float:
+        """Fraction of elapsed virtual time this disk spent transferring."""
+        if self.env.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / self.env.now)

@@ -1,0 +1,129 @@
+"""Inter-node message-passing model.
+
+Reproduces the paper's simulated network (Section 5.1.1):
+
+=================================  ============
+Bandwidth (based on [Mehta95])     infinite
+End-to-end transmission delay      0.5 ms
+CPU cost for sending 8 K bytes     10000 instr
+CPU cost for receiving 8 K bytes   10000 instr
+=================================  ============
+
+Because bandwidth is infinite, messages never queue in the network: every
+message arrives exactly ``delay`` after it is sent.  The *CPU* costs of
+sending and receiving are what make communication expensive, and they are
+charged to the sending/receiving node-scheduler threads by the engine (this
+module only computes them).
+
+The network keeps global and per-purpose traffic statistics; the Section 5.3
+experiment ("FP requires 9 MB to be transferred versus 2.5 MB for DP") reads
+them back through :meth:`Network.bytes_for`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .core import Environment
+
+__all__ = ["NetworkParams", "Message", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Network timing/cost parameters (defaults from the paper)."""
+
+    transmission_delay: float = 0.5e-3
+    send_instructions_per_8k: int = 10_000
+    receive_instructions_per_8k: int = 10_000
+    message_unit: int = 8 * 1024
+
+    def send_instructions(self, nbytes: int) -> int:
+        """CPU instructions the sender pays for an ``nbytes`` message."""
+        units = max(1, -(-nbytes // self.message_unit))  # ceil division
+        return units * self.send_instructions_per_8k
+
+    def receive_instructions(self, nbytes: int) -> int:
+        """CPU instructions the receiver pays for an ``nbytes`` message."""
+        units = max(1, -(-nbytes // self.message_unit))
+        return units * self.receive_instructions_per_8k
+
+
+@dataclass
+class Message:
+    """One inter-node message.
+
+    ``purpose`` tags the traffic class so experiments can separate control
+    messages (starving / end-detection) from load-balancing data shipments
+    (hash tables + activations).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    nbytes: int
+    purpose: str = "control"
+    sent_at: float = 0.0
+
+
+class Network:
+    """Infinite-bandwidth network with fixed end-to-end delay.
+
+    Each node registers a delivery callback (its scheduler's inbox).  The
+    network schedules the callback ``transmission_delay`` after the send.
+    """
+
+    def __init__(self, env: Environment, params: Optional[NetworkParams] = None):
+        self.env = env
+        self.params = params or NetworkParams()
+        self._inboxes: dict[int, Callable[[Message], None]] = {}
+        # --- statistics -------------------------------------------------
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_by_purpose: dict[str, int] = defaultdict(int)
+        self.bytes_by_purpose: dict[str, int] = defaultdict(int)
+
+    def register(self, node_id: int, deliver: Callable[[Message], None]) -> None:
+        """Install the delivery callback for ``node_id`` (its scheduler)."""
+        if node_id in self._inboxes:
+            raise ValueError(f"node {node_id} already registered")
+        self._inboxes[node_id] = deliver
+
+    def send(self, src: int, dst: int, kind: str, payload: Any,
+             nbytes: int, purpose: str = "control") -> Message:
+        """Send a message; it is delivered after the transmission delay.
+
+        Local sends (``src == dst``) are rejected: intra-node communication
+        goes through shared memory in the engine, never the network.
+        """
+        if src == dst:
+            raise ValueError("intra-node messages must use shared memory")
+        if dst not in self._inboxes:
+            raise KeyError(f"no node {dst} registered on the network")
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        message = Message(src, dst, kind, payload, nbytes, purpose, self.env.now)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.messages_by_purpose[purpose] += 1
+        self.bytes_by_purpose[purpose] += nbytes
+
+        deliver = self._inboxes[dst]
+
+        def _deliver_process():
+            yield self.env.timeout(self.params.transmission_delay)
+            deliver(message)
+
+        self.env.process(_deliver_process(), name=f"net:{kind}:{src}->{dst}")
+        return message
+
+    def bytes_for(self, purpose: str) -> int:
+        """Total bytes sent with the given ``purpose`` tag."""
+        return self.bytes_by_purpose.get(purpose, 0)
+
+    def messages_for(self, purpose: str) -> int:
+        """Total messages sent with the given ``purpose`` tag."""
+        return self.messages_by_purpose.get(purpose, 0)

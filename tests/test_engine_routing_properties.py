@@ -1,0 +1,184 @@
+"""Property tests for routing conservation and flow control.
+
+The output channel is the engine's most delicate component: it converts
+tuple counts into batched activations across Zipf-weighted cells with
+exact integer conservation, under queue bounds and credit windows.  These
+tests drive it directly (single-node contexts so deliveries are local) and
+assert the invariants the integration suite relies on.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Relation
+from repro.engine import ExecutionParams
+from repro.engine.context import ExecutionContext
+from repro.optimizer import BaseNode, JoinNode, compile_plan
+from repro.query import JoinEdge, QueryGraph
+from repro.sim import MachineConfig
+
+
+def make_context(nodes=1, procs=4, params=None):
+    """A context for a trivial join plan (R join S)."""
+    sel = 1.0 / 100
+    graph = QueryGraph(
+        [Relation("R", 100), Relation("S", 100)], [JoinEdge("R", "S", sel)]
+    )
+    tree = JoinNode(BaseNode(graph.relation("R")), BaseNode(graph.relation("S")), sel)
+    config = MachineConfig(nodes=nodes, processors_per_node=procs)
+    plan = compile_plan(graph, tree, config)
+    return ExecutionContext(plan, config, params or ExecutionParams())
+
+
+def build_channel(context):
+    """The scan -> build channel on node 0."""
+    scan = context.plan.operators.scans()[0]
+    return context.channels[(0, scan.op_id)]
+
+
+class TestChannelConservation:
+    @given(pushes=st.lists(st.integers(min_value=0, max_value=500),
+                           min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_flush_conserves_tuples_exactly(self, pushes):
+        context = make_context()
+        channel = build_channel(context)
+        for n in pushes:
+            channel.push_tuples(n)
+        channel.flush()
+        assert channel.tuples_out == channel.tuples_in == sum(pushes)
+
+    @given(theta=st.floats(min_value=0.0, max_value=1.0),
+           total=st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_conservation_under_skew(self, theta, total):
+        from repro.catalog import SkewSpec
+        context = make_context(
+            params=ExecutionParams(skew=SkewSpec.uniform_redistribution(theta))
+        )
+        channel = build_channel(context)
+        channel.push_tuples(total)
+        channel.flush()
+        assert channel.tuples_out == total
+
+    def test_batches_respect_batch_size(self):
+        context = make_context(params=ExecutionParams(batch_size=32))
+        channel = build_channel(context)
+        channel.push_tuples(10_000)
+        consumer = context.plan.operators.builds()[0].op_id
+        queue_set = context.nodes[0].queue_sets[consumer]
+        sizes = [a.tuples for q in queue_set.queues for a in q]
+        assert sizes
+        assert all(s <= 32 for s in sizes)
+
+    def test_outstanding_counter_tracks_emissions(self):
+        context = make_context()
+        channel = build_channel(context)
+        consumer = context.plan.operators.builds()[0].op_id
+        runtime = context.ops[consumer]
+        before = runtime.outstanding
+        channel.push_tuples(1000)
+        channel.flush()
+        assert runtime.outstanding == before + channel.activations_emitted
+
+    def test_flush_idempotent(self):
+        context = make_context()
+        channel = build_channel(context)
+        channel.push_tuples(77)
+        channel.flush()
+        out = channel.tuples_out
+        channel.flush()
+        assert channel.tuples_out == out
+
+    def test_terminal_channel_counts_results(self):
+        context = make_context()
+        root = context.plan.operators.root_id
+        channel = context.channels[(0, root)]
+        assert channel.router is None
+        assert channel.push_tuples(42) == 0
+        assert context.result_sink.tuples == 42
+
+
+class TestFlowControl:
+    def test_stall_on_full_queues(self):
+        context = make_context(
+            params=ExecutionParams(queue_capacity=2, pending_stall_limit=2,
+                                   batch_size=8)
+        )
+        channel = build_channel(context)
+        assert not channel.stalled
+        # 4 threads x capacity 2 x batch 8 = 64 tuples fit; push far more.
+        channel.push_tuples(5000)
+        assert channel.stalled
+        assert channel.parked_activations() > 0
+
+    def test_unstall_after_draining(self):
+        context = make_context(
+            params=ExecutionParams(queue_capacity=2, pending_stall_limit=2,
+                                   batch_size=8)
+        )
+        channel = build_channel(context)
+        channel.push_tuples(5000)
+        consumer = context.plan.operators.builds()[0].op_id
+        queue_set = context.nodes[0].queue_sets[consumer]
+        node = context.nodes[0]
+        # Consume everything; every pop triggers the drain hook.
+        drained = 0
+        while queue_set.has_work:
+            for index, queue in enumerate(queue_set.queues):
+                while not queue.is_empty:
+                    activation = queue_set.pop(index)
+                    node.on_queue_pop(queue, activation)
+                    drained += activation.tuples
+        assert not channel.stalled
+        assert channel.parked_activations() == 0
+        assert drained == channel.tuples_out
+
+    def test_stalled_op_not_selectable(self):
+        context = make_context(
+            params=ExecutionParams(queue_capacity=2, pending_stall_limit=2,
+                                   batch_size=8)
+        )
+        channel = build_channel(context)
+        scan_id = context.plan.operators.scans()[0].op_id
+        runtime = context.ops[scan_id]
+        context.seed_triggers()
+        assert context.is_op_selectable(context.nodes[0], runtime)
+        channel.push_tuples(5000)
+        assert not context.is_op_selectable(context.nodes[0], runtime)
+
+
+class TestRemoteCredits:
+    def test_remote_cells_start_with_credit_window(self):
+        context = make_context(nodes=2, procs=2,
+                               params=ExecutionParams(credit_window=3))
+        channel = build_channel(context)
+        remote_cells = [
+            i for i, cell in enumerate(channel.router.cells) if cell[0] != 0
+        ]
+        assert remote_cells
+        assert all(channel._remote_credits[i] == 3 for i in remote_cells)
+
+    def test_remote_sends_consume_credits_and_park_beyond(self):
+        from repro.engine.scheduler import NodeScheduler
+        context = make_context(nodes=2, procs=2,
+                               params=ExecutionParams(credit_window=1,
+                                                      batch_size=4,
+                                                      pending_stall_limit=100))
+        for node in context.nodes:
+            NodeScheduler(context, node)
+        channel = build_channel(context)
+        channel.push_tuples(1000)
+        remote_cells = [
+            i for i, cell in enumerate(channel.router.cells) if cell[0] != 0
+        ]
+        assert all(channel._remote_credits[i] == 0 for i in remote_cells)
+        assert channel.parked_activations() > 0
+        # Returning credits drains parked batches.
+        before = channel.parked_activations()
+        cell = channel.router.cells[remote_cells[0]]
+        channel.on_credit(cell, 5)
+        assert channel.parked_activations() < before

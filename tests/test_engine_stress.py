@@ -1,0 +1,105 @@
+"""Randomized end-to-end stress tests: random plans through the engine.
+
+These are the repository's strongest property tests: arbitrary (small)
+queries, shapes, machine configurations, skew and engine knobs must all
+execute to completion with conserved cardinalities, a valid termination
+order, and deterministic results.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import run_query
+from repro.catalog import SkewSpec
+from repro.engine import ExecutionParams, QueryExecutor
+from repro.optimizer import best_bushy_trees, compile_plan
+from repro.query import QueryGenerator, QueryGeneratorConfig
+from repro.sim import MachineConfig, RandomStreams
+
+
+def random_plan(seed: int, relations: int, config: MachineConfig):
+    generator = QueryGenerator(
+        RandomStreams(seed),
+        QueryGeneratorConfig(relations_per_query=relations, scale=0.002),
+    )
+    graph = generator.generate(0)
+    tree = best_bushy_trees(graph, k=1)[0]
+    return compile_plan(graph, tree, config, label=f"stress-{seed}")
+
+
+@given(
+    seed=st.integers(0, 1000),
+    relations=st.integers(min_value=2, max_value=5),
+    nodes=st.integers(min_value=1, max_value=3),
+    procs=st.integers(min_value=1, max_value=4),
+    theta=st.sampled_from([0.0, 0.5, 1.0]),
+)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_random_plans_complete_and_conserve(seed, relations, nodes,
+                                                     procs, theta):
+    config = MachineConfig(nodes=nodes, processors_per_node=procs)
+    plan = random_plan(seed, relations, config)
+    params = ExecutionParams(skew=SkewSpec.uniform_redistribution(theta),
+                             seed=seed)
+    result = QueryExecutor(plan, config, strategy="DP", params=params).run()
+    # Completion with every operator terminated in schedule order.
+    assert len(result.metrics.op_end_times) == len(plan.operators)
+    order = sorted(result.metrics.op_end_times,
+                   key=result.metrics.op_end_times.get)
+    assert plan.schedule.is_consistent_linearization(order)
+    # Conservation: base tuples scanned exactly once; results near the
+    # analytic cardinality (per-thread fractional carries allow small
+    # drift, amplified by downstream fanouts).
+    expected_scan = sum(r.cardinality for r in plan.graph.relations.values())
+    assert result.metrics.tuples_scanned == expected_scan
+    root = plan.operators.op(plan.operators.root_id)
+    if root.output_cardinality >= 100:
+        assert result.metrics.result_tuples == pytest.approx(
+            root.output_cardinality, rel=0.25
+        )
+
+
+@given(
+    seed=st.integers(0, 200),
+    strategy=st.sampled_from(["DP", "FP"]),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_strategies_agree_on_results(seed, strategy):
+    config = MachineConfig(nodes=2, processors_per_node=2)
+    plan = random_plan(seed, 4, config)
+    result = QueryExecutor(plan, config, strategy=strategy).run()
+    baseline = QueryExecutor(plan, config, strategy="DP").run()
+    root = plan.operators.op(plan.operators.root_id)
+    if root.output_cardinality >= 100:
+        assert result.metrics.result_tuples == pytest.approx(
+            baseline.metrics.result_tuples, rel=0.1
+        )
+
+
+@given(
+    batch=st.sampled_from([16, 64, 256]),
+    capacity=st.sampled_from([4, 16, 64]),
+    window=st.sampled_from([1, 4]),
+)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_engine_knobs_never_break_conservation(batch, capacity,
+                                                        window):
+    config = MachineConfig(nodes=2, processors_per_node=2)
+    plan = random_plan(7, 3, config)
+    params = ExecutionParams(batch_size=batch, queue_capacity=capacity,
+                             credit_window=window)
+    result = QueryExecutor(plan, config, strategy="DP", params=params).run()
+    expected_scan = sum(r.cardinality for r in plan.graph.relations.values())
+    assert result.metrics.tuples_scanned == expected_scan
+
+
+def test_run_query_convenience_wrapper():
+    config = MachineConfig(nodes=1, processors_per_node=2)
+    plan = random_plan(3, 3, config)
+    result = run_query(plan, config, strategy="DP")
+    assert result.response_time > 0
+    assert result.strategy == "DP"
