@@ -1,0 +1,27 @@
+# Developer/CI entry points.
+#
+#   make check       tier-1: fast tests + property suites, fixed hypothesis
+#                    profile (what CI runs on every push)
+#   make check-slow  the slow stress tier (50+ concurrent queries)
+#   make check-full  everything: tier-1, slow tier, benchmark smoke
+#   make bench-smoke one pass of the workload benchmark (prints the sweep)
+#   make experiments regenerate EXPERIMENTS.md (quick settings)
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: check check-slow check-full bench-smoke experiments
+
+check:
+	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q
+
+check-slow:
+	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q -m slow tests/test_serving_stress.py
+
+check-full: check check-slow bench-smoke
+
+bench-smoke:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_workload.py
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner --quick

@@ -1,0 +1,34 @@
+"""Benchmark: the serving-layer workload sweep (MPL x skew x strategy).
+
+Runs a reduced sweep on a 2x4 machine and prints the same table the full
+experiment reports.  Expected shape: DP throughput >= FP throughput at
+every multiprogramming level under skew 0.8, and DP ships less
+load-balancing data per query.
+"""
+
+from conftest import run_once
+
+from repro.experiments import workload_sweep
+
+
+def test_workload_sweep(benchmark, quick_options):
+    result = run_once(
+        benchmark, workload_sweep.run, quick_options,
+        nodes=2, processors_per_node=4, base_tuples=2000,
+        queries_per_cell=8, mpl_levels=(1, 4, 8), skew_levels=(0.0, 0.8),
+    )
+    print()
+    print(result.table())
+    for mpl in (1, 4, 8):
+        dp = result.cell("DP", 0.8, mpl)
+        fp = result.cell("FP", 0.8, mpl)
+        assert dp.throughput >= fp.throughput, (
+            f"DP should meet or beat FP throughput under skew at MPL {mpl}"
+        )
+        assert dp.steal_bytes <= fp.steal_bytes, (
+            f"DP should ship less LB data than FP at MPL {mpl}"
+        )
+    # Saturation: latency grows with multiprogramming for both strategies.
+    for strategy in ("DP", "FP"):
+        p95s = [result.cell(strategy, 0.8, mpl).p95_latency for mpl in (1, 4, 8)]
+        assert p95s[0] < p95s[-1], f"{strategy} p95 should rise with MPL"

@@ -17,7 +17,11 @@ The package implements, in virtual time:
   balancing, plus the DP / SP / FP strategies of Section 5;
 - :mod:`repro.workloads` — the 40-plan evaluation workload and canned
   scenarios;
-- :mod:`repro.experiments` — one module per figure/table of the paper.
+- :mod:`repro.serving` — the multi-query layer: arrival streams, admission
+  control and a coordinator that runs concurrent queries on one shared
+  machine (processors, disks and memory contended);
+- :mod:`repro.experiments` — one module per figure/table of the paper,
+  plus the serving-layer workload sweep.
 
 Quickstart::
 

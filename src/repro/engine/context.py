@@ -24,7 +24,8 @@ from ..optimizer.operator_tree import OpKind
 from ..optimizer.plan import ParallelExecutionPlan
 from ..sim.core import Environment, Event
 from ..sim.disk import Disk
-from ..sim.machine import Machine, MachineConfig, SMNode
+from ..sim.machine import (Machine, MachineConfig, SMNode, make_disks,
+                           make_processors)
 from ..sim.network import Message, Network
 from ..sim.rng import RandomStreams
 from .activation import DataActivation, GroupId, TriggerActivation
@@ -162,32 +163,61 @@ class NodeState:
 
 
 class ExecutionContext:
-    """All shared state of one simulated query execution."""
+    """All shared state of one simulated query execution.
+
+    A context normally owns its whole substrate (environment, machine,
+    disks, processors) — the single-query mode of the original paper.
+    Passing ``substrate`` (see :class:`repro.serving.SharedSubstrate`)
+    instead *shares* the physical machine with other concurrent query
+    executions: the context keeps its own queues, operator runtimes,
+    schedulers and network overlay (the modelled network has infinite
+    bandwidth, so per-query overlays are semantically identical to one
+    multiplexed network while keeping per-query traffic counters exact),
+    but its threads contend with other queries' threads for the shared
+    :class:`~repro.sim.machine.Processor` slots, disks and node memory.
+    ``start_time`` is then the admission time: response times are reported
+    relative to it, separating queueing delay from execution time.
+    """
 
     def __init__(self, plan: ParallelExecutionPlan, config: MachineConfig,
-                 params: Optional[ExecutionParams] = None):
+                 params: Optional[ExecutionParams] = None,
+                 substrate=None, query_id: int = 0):
         self.plan = plan
         self.config = config
         self.params = params or ExecutionParams()
-        self.env = Environment()
-        self.machine = Machine(config)
+        self.substrate = substrate
+        self.query_id = query_id
+        if substrate is None:
+            self.env = Environment()
+            self.machine = Machine(config)
+            self.processors = make_processors(self.env, config)
+        else:
+            self.env = substrate.env
+            self.machine = substrate.machine
+            self.processors = substrate.processors
         self.network = Network(self.env, self.params.network)
         self.streams = RandomStreams(self.params.seed)
         self.metrics = ExecutionMetrics()
         self.result_sink = ResultSink()
         self.done = False
         self.finished = self.env.event("query-finished")
+        #: admission time; 0.0 for a context that owns its environment.
+        self.start_time: float = self.env.now
+        self.completion_time: Optional[float] = None
         self.response_time: Optional[float] = None
 
         # --- substrate ------------------------------------------------------
-        self.disks: list[list[Disk]] = [
-            [Disk(self.env, self.params.disk, name=f"d{n}.{d}")
-             for d in range(config.processors_per_node)]
-            for n in range(config.nodes)
-        ]
+        if substrate is None:
+            self.disks: list[list[Disk]] = make_disks(
+                self.env, self.params.disk, config
+            )
+        else:
+            self.disks = substrate.disks
         self.nodes: list[NodeState] = [
             NodeState(self, n, self.machine.node(n)) for n in range(config.nodes)
         ]
+        if substrate is not None:
+            substrate.register_context(self)
 
         # --- operator runtimes ------------------------------------------------
         self.ops: dict[int, OperatorRuntime] = {}
@@ -428,10 +458,15 @@ class ExecutionContext:
             self.maybe_end(consumer)
 
         # 3. A probe's end releases its join's hash tables (on every node,
-        #    including stolen copies).
+        #    including stolen copies).  On a shared machine the freed
+        #    memory may unblock a deferred admission right now.
         if runtime.kind is OpKind.PROBE:
-            for node in self.nodes:
+            freed = sum(
                 node.store.release_join(runtime.op.join_id)
+                for node in self.nodes
+            )
+            if freed and self.substrate is not None:
+                self.substrate.notify_memory_released()
 
         if self.strategy is not None:
             self.strategy.on_op_terminated(self, runtime)
@@ -445,16 +480,44 @@ class ExecutionContext:
                 node.wake_all()
 
     def finish(self) -> None:
-        """Mark the query complete and wake everything so processes exit."""
+        """Mark the query complete and wake everything so processes exit.
+
+        ``response_time`` is the *execution* time — completion minus
+        admission (``start_time``).  For a context that owns its
+        environment ``start_time`` is 0 and this is the classic paper
+        number; under the serving layer the queueing delay spent before
+        admission is accounted separately (:class:`~repro.engine.metrics.
+        QueryCompletion`), never folded into the execution time.
+        """
         if self.done:
             return
         self.done = True
-        self.response_time = self.env.now
-        self.metrics.response_time = self.env.now
+        self.completion_time = self.env.now
+        self.response_time = self.env.now - self.start_time
+        self.metrics.response_time = self.response_time
+        if self.substrate is not None:
+            self.substrate.unregister_context(self)
         if not self.finished.triggered:
             self.finished.succeed()
         for node in self.nodes:
             node.wake_all()
+
+    # -- cross-query load signal -------------------------------------------------
+
+    def node_load(self, node_id: int) -> int:
+        """Queued activations on ``node_id``, across *all* live queries.
+
+        The steal protocol's provider ranking ("acquire from the most
+        loaded offering node") uses this: under multiprogramming a node's
+        pressure comes from every query it hosts, so ranking by
+        machine-wide load steers steals away from nodes other queries are
+        hammering — inter-query load balancing on top of the paper's
+        intra-query protocol.  Single-query contexts fall back to their
+        own per-node count, which is the same number.
+        """
+        if self.substrate is not None:
+            return self.substrate.node_load(node_id)
+        return self.nodes[node_id].total_queued_activations()
 
     # -- post-run verification -----------------------------------------------------------------
 

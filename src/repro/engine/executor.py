@@ -58,11 +58,36 @@ class QueryExecutor:
                 self.plan, self.config, self.params
             ).run()
 
+        context = self.launch()
+        context.env.run()
+        if not context.done:
+            context.assert_all_terminated()
+            raise ExecutionDeadlock("simulation drained without finishing")
+
+        return self.collect(context)
+
+    def launch(self, substrate=None, query_id: int = 0) -> ExecutionContext:
+        """Build and start an execution, without running the simulation.
+
+        Creates the context (optionally on a shared ``substrate`` so
+        several queries contend for one machine — see
+        :mod:`repro.serving`), wires the per-node schedulers, creates one
+        thread per processor (Section 3.1: one thread per processor *per
+        query*), seeds the trigger activations and starts the threads.
+        The caller decides when the environment runs; completion is
+        observable on ``context.finished``.
+        """
+        if self.strategy_name == "SP":
+            raise StrategyError(
+                "SP bypasses the activation engine; use "
+                "SynchronousPipeliningExecutor.launch for shared-substrate runs"
+            )
         strategy = getattr(self, "_strategy_instance", None)
         if strategy is None:
             strategy = make_strategy(self.strategy_name)
 
-        context = ExecutionContext(self.plan, self.config, self.params)
+        context = ExecutionContext(self.plan, self.config, self.params,
+                                   substrate=substrate, query_id=query_id)
         context.strategy = strategy
 
         # Per-node schedulers (message handling, LB, end detection).
@@ -80,15 +105,9 @@ class QueryExecutor:
         for node in context.nodes:
             for thread in node.threads:
                 thread.start()
+        return context
 
-        context.env.run()
-        if not context.done:
-            context.assert_all_terminated()
-            raise ExecutionDeadlock("simulation drained without finishing")
-
-        return self._collect(context)
-
-    def _collect(self, context: ExecutionContext) -> ExecutionResult:
+    def collect(self, context: ExecutionContext) -> ExecutionResult:
         metrics = context.metrics
         metrics.thread_count = sum(len(n.threads) for n in context.nodes)
         metrics.result_tuples = context.result_sink.tuples
@@ -103,7 +122,7 @@ class QueryExecutor:
         metrics.control_bytes = network.bytes_for("control")
         metrics.loadbalance_messages = network.messages_for("loadbalance")
         metrics.memory_high_watermark = max(
-            (n.smnode.high_watermark for n in context.nodes), default=0
+            (n.store.high_watermark for n in context.nodes), default=0
         )
         return ExecutionResult(
             plan_label=self.plan.label,

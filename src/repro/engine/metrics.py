@@ -11,14 +11,30 @@ paper's analyses:
   5.3 transfer-volume comparison (FP ≈ 9 MB vs DP ≈ 2.5 MB);
 * steal-round accounting;
 * tuple conservation counters used heavily by the integration tests.
+
+The serving layer (:mod:`repro.serving`) adds workload-level observables
+on top: :class:`QueryCompletion` splits each query's lifetime into
+queueing delay (arrival → admission) and execution time (admission →
+completion), and :class:`WorkloadMetrics` aggregates a whole multi-query
+run — throughput, latency percentiles, queueing delay, per-query steal
+traffic.  Both are plain deterministic data: two runs with the same seed
+produce byte-identical :meth:`WorkloadMetrics.summary` output, which the
+determinism regression tests rely on.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["ExecutionMetrics", "ExecutionResult"]
+__all__ = [
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "QueryCompletion",
+    "WorkloadMetrics",
+    "percentile",
+]
 
 
 @dataclass
@@ -26,8 +42,16 @@ class ExecutionMetrics:
     """Mutable counters filled in during one query execution."""
 
     # --- time ----------------------------------------------------------------
+    #: execution time: admission -> completion (equals the classic
+    #: response time when the query owns the machine from t=0).
     response_time: float = 0.0
+    #: arrival -> admission wait under the serving layer's admission
+    #: control; 0 for a directly-executed query.
+    queueing_delay: float = 0.0
     thread_busy_time: float = 0.0
+    #: time threads spent queued for a processor behind concurrent
+    #: queries' charges (0 in single-query mode: one thread/processor).
+    cpu_contention_time: float = 0.0
     thread_count: int = 0
 
     # --- activations ------------------------------------------------------------
@@ -60,6 +84,10 @@ class ExecutionMetrics:
 
     # --- memory -------------------------------------------------------------------------
     memory_high_watermark: int = 0
+    #: build bytes accounted without a reservation because the node pool
+    #: was exhausted mid-build (shared-substrate overcommit tolerance;
+    #: always 0 in single-query mode, which raises instead).
+    memory_overcommit_bytes: int = 0
 
     # --- per-operator termination times (op_id -> virtual seconds) -----------------------
     op_end_times: dict[int, float] = field(default_factory=dict)
@@ -81,13 +109,30 @@ class ExecutionMetrics:
 
 @dataclass(frozen=True)
 class ExecutionResult:
-    """One query execution's outcome."""
+    """One query execution's outcome.
+
+    ``response_time`` is the *execution* time (admission to completion);
+    ``queueing_delay`` is the pre-admission wait (0 when the query was
+    executed directly, the paper's single-query mode).  The end-to-end
+    latency a client observes is their sum.
+    """
 
     plan_label: str
     strategy: str
     config_label: str
     response_time: float
     metrics: ExecutionMetrics
+    queueing_delay: float = 0.0
+
+    @property
+    def execution_time(self) -> float:
+        """Alias for ``response_time`` (admission -> completion)."""
+        return self.response_time
+
+    @property
+    def latency(self) -> float:
+        """End-to-end client latency: queueing delay + execution time."""
+        return self.queueing_delay + self.response_time
 
     def __str__(self) -> str:
         return (
@@ -95,3 +140,182 @@ class ExecutionResult:
             f"{self.response_time:.3f}s, idle {self.metrics.idle_fraction():.1%}, "
             f"{self.metrics.result_tuples} results"
         )
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``p`` in [0, 100].  Empty input returns 0.0 so summary tables render
+    without special-casing.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class QueryCompletion:
+    """One query's lifetime inside a multi-query workload run.
+
+    The three timestamps split the client-observed latency exactly:
+    ``arrival_time`` (the driver generated the query), ``start_time``
+    (admission control released it onto the machine), ``completion_time``
+    (its root operator terminated).
+    """
+
+    query_id: int
+    plan_label: str
+    strategy: str
+    arrival_time: float
+    start_time: float
+    completion_time: float
+    result: ExecutionResult
+
+    @property
+    def queueing_delay(self) -> float:
+        """Arrival -> admission wait imposed by admission control."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def execution_time(self) -> float:
+        """Admission -> completion (the paper's response time)."""
+        return self.completion_time - self.start_time
+
+    @property
+    def latency(self) -> float:
+        """Arrival -> completion: what the submitting client observes."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def steal_bytes(self) -> int:
+        """Load-balancing bytes shipped on behalf of this query."""
+        return self.result.metrics.loadbalance_bytes
+
+    @property
+    def steal_messages(self) -> int:
+        """Load-balancing messages sent on behalf of this query."""
+        return self.result.metrics.loadbalance_messages
+
+
+@dataclass
+class WorkloadMetrics:
+    """Aggregate observables of one multi-query workload run.
+
+    ``makespan`` is the virtual time from the first arrival to the last
+    completion; throughput and utilization are computed against it.  All
+    accessors are deterministic functions of the completion list, so two
+    runs of the same seeded workload produce byte-identical
+    :meth:`summary` strings (the determinism regression tests compare
+    exactly that).
+    """
+
+    completions: list[QueryCompletion] = field(default_factory=list)
+    #: queries generated but never admitted (still queued at the end of a
+    #: bounded run); non-zero only when a run is stopped early.
+    unfinished: int = 0
+    first_arrival_time: float = 0.0
+    last_completion_time: float = 0.0
+
+    def record(self, completion: QueryCompletion) -> None:
+        if not self.completions:
+            self.first_arrival_time = completion.arrival_time
+        else:
+            self.first_arrival_time = min(self.first_arrival_time,
+                                          completion.arrival_time)
+        self.completions.append(completion)
+        self.last_completion_time = max(self.last_completion_time,
+                                        completion.completion_time)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time from the first arrival to the last completion."""
+        return max(0.0, self.last_completion_time - self.first_arrival_time)
+
+    # -- headline numbers --------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return len(self.completions)
+
+    def throughput(self) -> float:
+        """Completed queries per virtual second over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.completions) / self.makespan
+
+    def latencies(self) -> list[float]:
+        return [c.latency for c in self.completions]
+
+    def latency_percentile(self, p: float) -> float:
+        return percentile(self.latencies(), p)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def mean_latency(self) -> float:
+        lats = self.latencies()
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def mean_queueing_delay(self) -> float:
+        if not self.completions:
+            return 0.0
+        return sum(c.queueing_delay for c in self.completions) / len(self.completions)
+
+    def max_queueing_delay(self) -> float:
+        return max((c.queueing_delay for c in self.completions), default=0.0)
+
+    def mean_execution_time(self) -> float:
+        if not self.completions:
+            return 0.0
+        return sum(c.execution_time for c in self.completions) / len(self.completions)
+
+    # -- steal traffic -------------------------------------------------------
+
+    def total_steal_bytes(self) -> int:
+        return sum(c.steal_bytes for c in self.completions)
+
+    def steal_bytes_per_query(self) -> dict[int, int]:
+        """query_id -> load-balancing bytes shipped for that query."""
+        return {c.query_id: c.steal_bytes for c in self.completions}
+
+    def total_cpu_contention(self) -> float:
+        return sum(c.result.metrics.cpu_contention_time for c in self.completions)
+
+    # -- deterministic digest ------------------------------------------------
+
+    def summary(self) -> dict:
+        """A plain-data digest; ``repr(summary())`` is byte-stable per seed."""
+        return {
+            "completed": self.completed,
+            "unfinished": self.unfinished,
+            "makespan": self.makespan,
+            "throughput": self.throughput(),
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+            "mean_queueing_delay": self.mean_queueing_delay(),
+            "max_queueing_delay": self.max_queueing_delay(),
+            "mean_execution_time": self.mean_execution_time(),
+            "total_steal_bytes": self.total_steal_bytes(),
+            "total_cpu_contention": self.total_cpu_contention(),
+            "per_query": [
+                (c.query_id, c.plan_label, c.arrival_time, c.start_time,
+                 c.completion_time, c.steal_bytes,
+                 c.result.metrics.result_tuples,
+                 c.result.metrics.activations_processed)
+                for c in sorted(self.completions, key=lambda c: c.query_id)
+            ],
+        }

@@ -172,7 +172,9 @@ class NodeScheduler:
             "provider": self.node.node_id,
             "scope": payload["scope"],
             "candidate": candidate,
-            "load": self.node.total_queued_activations(),
+            # Machine-wide pressure (all queries on this node), so the
+            # requester ranks providers by true load under multiprogramming.
+            "load": context.node_load(self.node.node_id),
         }
         context.network.send(self.node.node_id, requester, "offer",
                              reply, nbytes=48, purpose="control")

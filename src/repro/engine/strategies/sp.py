@@ -31,7 +31,7 @@ from ...optimizer.operator_tree import OpKind, PipelineChain
 from ...optimizer.plan import ParallelExecutionPlan
 from ...sim.core import Environment
 from ...sim.disk import Disk
-from ...sim.machine import MachineConfig
+from ...sim.machine import MachineConfig, make_processors
 from ..metrics import ExecutionMetrics, ExecutionResult
 from ..params import ExecutionParams
 from .base import StrategyError
@@ -67,10 +67,27 @@ class SynchronousPipeliningExecutor:
     def run(self) -> ExecutionResult:
         """Execute all pipeline chains; returns the execution result."""
         env = Environment()
+        k = self.config.processors_per_node
+        disks = [Disk(env, self.params.disk, name=f"d0.{d}") for d in range(k)]
+        processors = make_processors(env, self.config)[0]
+        self.launch(env, disks, processors)
+        env.run()
+        return self.collect(start_time=0.0, end_time=env.now)
+
+    def launch(self, env: Environment, disks: list[Disk],
+               processors, query_id: int = 0):
+        """Start the SP execution inside ``env``; return the driver process.
+
+        ``disks`` and ``processors`` are node 0's shared hardware (SP is a
+        single-SM-node model).  The returned driver is a
+        :class:`~repro.sim.core.Process`, i.e. an event that fires at
+        query completion — the serving layer's coordinator waits on it.
+        CPU charges go through the shared processors, so concurrent
+        queries' SP workers time-share them exactly like DP/FP threads.
+        """
         params = self.params
         cost = params.cost
         k = self.config.processors_per_node
-        disks = [Disk(env, params.disk, name=f"d0.{d}") for d in range(k)]
         tree = self.plan.operators
 
         from ...optimizer.scheduling import chain_total_order
@@ -79,11 +96,21 @@ class SynchronousPipeliningExecutor:
         busy = [0.0] * k
         results = [0.0]
         scanned = [0]
+        contention = [0.0]
+        self._busy = busy
+        self._results = results
+        self._scanned = scanned
+        self._contention = contention
+        self._thread_count = k
 
         def charge(thread_index: int, instructions: float):
             seconds = instructions / cost.mips
             busy[thread_index] += seconds
-            return env.timeout(seconds)
+            started = env.now
+            yield from processors[thread_index].use(seconds)
+            waited = env.now - started - seconds
+            if waited > 1e-12:
+                contention[0] += waited
 
         def make_chunks(chain: PipelineChain) -> list[_Chunk]:
             """Chunks interleaved round-robin across disks.
@@ -141,25 +168,29 @@ class SynchronousPipeliningExecutor:
 
         def worker(thread_index: int, chain: PipelineChain, pool):
             """Double-buffered scan + synchronous pipeline execution."""
+            # Query-scoped stream keys: concurrent queries sharing a disk
+            # must not be mistaken for one sequential read stream.
             pending = None
             while pool or pending is not None:
                 if pending is None:
                     chunk = pool.popleft()
                     handle = disks[chunk.disk_id].read_async(
-                        chunk.pages, stream=(chain.chain_id, chunk.disk_id)
+                        chunk.pages,
+                        stream=(query_id, chain.chain_id, chunk.disk_id),
                     )
-                    yield charge(thread_index,
-                                 params.disk.async_init_instructions)
+                    yield from charge(thread_index,
+                                      params.disk.async_init_instructions)
                     pending = (chunk, handle)
                 chunk, handle = pending
                 # Prefetch the next chunk before waiting (I/O multiplexing).
                 if pool:
                     nxt = pool.popleft()
                     nxt_handle = disks[nxt.disk_id].read_async(
-                        nxt.pages, stream=(chain.chain_id, nxt.disk_id)
+                        nxt.pages,
+                        stream=(query_id, chain.chain_id, nxt.disk_id),
                     )
-                    yield charge(thread_index,
-                                 params.disk.async_init_instructions)
+                    yield from charge(thread_index,
+                                      params.disk.async_init_instructions)
                     pending = (nxt, nxt_handle)
                 else:
                     pending = None
@@ -167,30 +198,33 @@ class SynchronousPipeliningExecutor:
                 scanned[0] += chunk.tuples
                 instructions = chunk.tuples * cost.scan_instructions_per_tuple
                 instructions += process_tuples(thread_index, chain, chunk.tuples)
-                yield charge(thread_index, instructions)
+                yield from charge(thread_index, instructions)
 
         def driver():
             from collections import deque
             for chain_id in order:
                 chain = tree.chains[chain_id]
                 pool = deque(make_chunks(chain))
-                procs = [env.process(worker(t, chain, pool), name=f"sp:t{t}")
+                procs = [env.process(worker(t, chain, pool),
+                                     name=f"sp:q{query_id}t{t}")
                          for t in range(k)]
                 yield env.all_of(procs)
 
-        env.process(driver(), name="sp:driver")
-        env.run()
+        return env.process(driver(), name=f"sp:driver:q{query_id}")
 
+    def collect(self, start_time: float, end_time: float) -> ExecutionResult:
+        """Assemble the result after the driver process has finished."""
         metrics = self.metrics
-        metrics.response_time = env.now
-        metrics.thread_count = k
-        metrics.thread_busy_time = sum(busy)
-        metrics.tuples_scanned = scanned[0]
-        metrics.result_tuples = int(round(results[0]))
+        metrics.response_time = end_time - start_time
+        metrics.thread_count = self._thread_count
+        metrics.thread_busy_time = sum(self._busy)
+        metrics.cpu_contention_time = self._contention[0]
+        metrics.tuples_scanned = self._scanned[0]
+        metrics.result_tuples = int(round(self._results[0]))
         return ExecutionResult(
             plan_label=self.plan.label,
             strategy="SP",
             config_label=self.config.describe(),
-            response_time=env.now,
+            response_time=metrics.response_time,
             metrics=metrics,
         )

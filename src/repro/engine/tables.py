@@ -34,6 +34,9 @@ class GroupTable:
     group: GroupId
     tuples: int = 0
     nbytes: int = 0
+    #: bytes accounted in ``nbytes`` but never reserved on the node
+    #: (multiprogramming overcommit tolerance); release must skip them.
+    unreserved: int = 0
 
     def insert(self, tuples: int, tuple_size: int) -> int:
         """Account ``tuples`` inserted; returns the bytes added."""
@@ -50,19 +53,53 @@ class HashTableStore:
         self.node = node
         self._built: dict[tuple[int, GroupId], GroupTable] = {}
         self._copies: dict[tuple[int, GroupId], GroupTable] = {}
+        #: bytes currently held by this store (reserved + unreserved) and
+        #: its peak — the *per-query* memory watermark, unlike the node
+        #: pool's watermark which mixes all concurrent queries.
+        self.bytes_held = 0
+        self.high_watermark = 0
+
+    def _bump(self, delta: int) -> None:
+        self.bytes_held += delta
+        if self.bytes_held > self.high_watermark:
+            self.high_watermark = self.bytes_held
 
     # -- build side ------------------------------------------------------------
 
     def insert(self, join_id: int, group: GroupId, tuples: int,
-               tuple_size: int) -> None:
-        """Insert build tuples into the group's local table (charges memory)."""
+               tuple_size: int, strict: bool = True) -> bool:
+        """Insert build tuples into the group's local table (charges memory).
+
+        With ``strict`` (the single-query default) an over-committed node
+        raises :class:`~repro.sim.machine.MemoryExhausted`, surfacing
+        configurations that violate the paper's chain-fits-in-memory
+        assumption.  With ``strict=False`` (concurrent queries on a
+        shared machine, where admission estimates can be beaten by a
+        racing build) a batch that does not fit is *accounted without
+        reserving* — mirroring the stolen-copy fallback — so the
+        execution degrades instead of crashing.  Returns False exactly
+        when that fallback was taken.
+        """
         key = (join_id, group)
         table = self._built.get(key)
         if table is None:
             table = GroupTable(join_id, group)
             self._built[key] = table
         added = table.insert(tuples, tuple_size)
-        self.node.reserve(added)
+        self._bump(added)
+        if strict:
+            self.node.reserve(added)
+            return True
+        # Reserve as much as actually fits so the node's free-memory
+        # signal (admission gate, steal condition (i)) stays honest;
+        # only the remainder is carried unreserved.
+        fit = min(added, max(0, self.node.available))
+        if fit:
+            self.node.reserve(fit)
+        if fit == added:
+            return True
+        table.unreserved += added - fit
+        return False
 
     def local_table(self, join_id: int, group: GroupId) -> Optional[GroupTable]:
         """The locally built table for a group, if any tuples were built."""
@@ -82,6 +119,7 @@ class HashTableStore:
         if key in self._copies:
             raise ValueError(f"copy of {key} already installed")
         self._copies[key] = GroupTable(join_id, group, tuples, nbytes)
+        self._bump(nbytes)
         self.node.reserve(nbytes)
 
     def has_copy(self, join_id: int, group: GroupId) -> bool:
@@ -107,11 +145,16 @@ class HashTableStore:
         Returns the bytes released.
         """
         released = 0
+        held = 0
         for store in (self._built, self._copies):
             doomed = [key for key in store if key[0] == join_id]
             for key in doomed:
-                released += store[key].nbytes
+                table = store[key]
+                released += table.nbytes - table.unreserved
+                held += table.nbytes
                 del store[key]
+        if held:
+            self._bump(-held)
         if released:
             self.node.release(released)
         return released

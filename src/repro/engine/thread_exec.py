@@ -45,8 +45,13 @@ class ExecutionThread:
         self.context = context
         self.node = node
         self.index = index
+        #: the physical processor backing this thread; threads of other
+        #: concurrent queries with the same (node, index) share it.
+        self.processor = context.processors[node.node_id][index]
         self.busy_time = 0.0
         self.idle_time = 0.0
+        #: virtual time spent queued behind other queries' CPU charges.
+        self.contention_time = 0.0
         #: FP restriction: the operator ids this thread may process
         #: (None = unrestricted, the DP default).
         self.assigned_ops: Optional[set[int]] = None
@@ -79,11 +84,23 @@ class ExecutionThread:
     # -- CPU accounting ------------------------------------------------------------
 
     def _charge(self, instructions: float):
-        """Consume CPU: advance virtual time and record busy time."""
+        """Consume CPU: hold the processor, advance time, record busy time.
+
+        The charge acquires the thread's physical processor for its
+        duration; with one query per machine the processor is always free
+        and this degenerates to a plain timeout.  Under multiprogramming,
+        time spent queued behind another query's charge is recorded as
+        ``cpu_contention_time`` (it is neither busy nor idle time).
+        """
         seconds = self.context.instructions_time(instructions)
         self.busy_time += seconds
         self.context.metrics.thread_busy_time += seconds
-        yield self.context.env.timeout(seconds)
+        started = self.context.env.now
+        yield from self.processor.use(seconds)
+        waited = self.context.env.now - started - seconds
+        if waited > 1e-12:
+            self.contention_time += waited
+            self.context.metrics.cpu_contention_time += waited
 
     # -- activation selection (Figure 5) ----------------------------------------------
 
@@ -248,8 +265,11 @@ class ExecutionThread:
 
         def issue(trigger: TriggerActivation):
             disk = node_disks[trigger.disk_id]
+            # The stream key is query-scoped: concurrent queries sharing a
+            # disk must not be mistaken for one sequential read stream.
             return disk.read_async(
-                trigger.pages, stream=(runtime.op_id, trigger.disk_id)
+                trigger.pages,
+                stream=(context.query_id, runtime.op_id, trigger.disk_id),
             )
 
         inflight: list[tuple[TriggerActivation, object]] = [
@@ -332,13 +352,24 @@ class ExecutionThread:
         yield from self._charge(
             activation.tuples * cost.build_instructions_per_tuple
         )
-        self.node.store.insert(
+        # Single-query mode keeps the strict chain-fits-in-memory check;
+        # under a shared substrate a racing concurrent build may beat the
+        # admission estimate, so the store degrades to unreserved
+        # accounting instead of crashing every in-flight query.
+        fitted = self.node.store.insert(
             runtime.op.join_id, activation.group,
             activation.tuples, activation.tuple_size,
+            strict=context.substrate is None,
         )
+        if not fitted:
+            context.metrics.memory_overcommit_bytes += (
+                activation.tuples * activation.tuple_size
+            )
         runtime.tuples_in += activation.tuples
         context.metrics.tuples_built += activation.tuples
-        watermark = max(n.smnode.high_watermark for n in context.nodes)
+        # Per-query stores, not the node pools: under a shared substrate
+        # the pool watermark mixes every concurrent query's reservations.
+        watermark = max(n.store.high_watermark for n in context.nodes)
         if watermark > context.metrics.memory_high_watermark:
             context.metrics.memory_high_watermark = watermark
 

@@ -20,7 +20,7 @@ import time
 from dataclasses import replace
 from typing import Callable, Optional
 
-from . import figure6, figure7, figure8, figure9, figure10, section53
+from . import figure6, figure7, figure8, figure9, figure10, section53, workload_sweep
 from .config import DISK_TABLE, NETWORK_TABLE, ExperimentOptions
 from .reporting import format_table
 
@@ -77,6 +77,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
         "Section 5.3: LB transfer volume",
         lambda options: (
             (lambda r: (r.table(), section53.PAPER_EXPECTATION))(section53.run(options))
+        ),
+    ),
+    "workload": (
+        "Workload sweep: MPL x skew x strategy (serving layer)",
+        lambda options: (
+            (lambda r: (r.table(), workload_sweep.PAPER_EXPECTATION))(
+                workload_sweep.run(options)
+            )
         ),
     ),
 }

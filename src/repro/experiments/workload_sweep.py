@@ -1,0 +1,182 @@
+"""Workload sweep — multiprogramming level × skew × strategy.
+
+The paper evaluates strategies one query at a time; this experiment is
+the serving-layer extension the ROADMAP asks for: sustained closed-loop
+query streams against one hierarchical machine, sweeping the
+multiprogramming level (MPL), the redistribution skew and the execution
+strategy, and reading back workload-level observables — throughput, p95
+latency, mean queueing delay, CPU contention and per-query steal traffic.
+
+Expected shape: the paper's Section 5.3 single-query ordering (DP over FP
+under skew) survives multiprogramming.  DP's throughput meets or beats
+FP's at every MPL under skew, because FP's static misallocation wastes
+processor share that concurrent DP queries would soak up; p95 latency
+grows with MPL for both (the machine saturates), but from a lower base
+for DP.  In the pure closed loop the admission cap equals the client
+population, so queueing delay stays zero — open-loop (Poisson/bursty)
+drivers are where admission queueing appears (see the serving tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..catalog.skew import SkewSpec
+from ..serving import AdmissionPolicy, ArrivalSpec, WorkloadDriver, WorkloadSpec
+from ..workloads.scenarios import pipeline_chain_scenario
+from .config import ExperimentOptions, scaled_execution_params
+from .reporting import format_table
+
+__all__ = ["WorkloadSweepResult", "run", "PAPER_EXPECTATION",
+           "MPL_LEVELS", "SKEW_LEVELS", "STRATEGIES"]
+
+#: multiprogramming levels on the sweep's x-axis.
+MPL_LEVELS = (1, 2, 4, 8)
+#: redistribution skew (Zipf theta) levels.
+SKEW_LEVELS = (0.0, 0.8)
+#: strategies under comparison (SP is shared-memory-only; the serving
+#: determinism tests cover it separately on one node).
+STRATEGIES = ("DP", "FP")
+
+PAPER_EXPECTATION = (
+    "Consistent with the paper's single-query Section 5.3 ordering: under "
+    "skew (theta = 0.8) DP throughput >= FP throughput at every "
+    "multiprogramming level, DP ships less load-balancing data per query, "
+    "and p95 latency rises with MPL for both strategies (saturation)."
+)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (strategy, skew, MPL) measurement."""
+
+    strategy: str
+    skew: float
+    mpl: int
+    throughput: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_queueing_delay: float
+    cpu_contention: float
+    steal_bytes: int
+
+
+@dataclass(frozen=True)
+class WorkloadSweepResult:
+    """The full sweep grid."""
+
+    cells: tuple[SweepCell, ...]
+    options: ExperimentOptions
+
+    def cell(self, strategy: str, skew: float, mpl: int) -> SweepCell:
+        for cell in self.cells:
+            if (cell.strategy == strategy and cell.skew == skew
+                    and cell.mpl == mpl):
+                return cell
+        raise KeyError((strategy, skew, mpl))
+
+    def table(self) -> str:
+        blocks = []
+        skews = sorted({c.skew for c in self.cells})
+        strategies = sorted({c.strategy for c in self.cells})
+        mpls = sorted({c.mpl for c in self.cells})
+        for skew in skews:
+            headers = ["MPL"]
+            for strategy in strategies:
+                headers += [f"{strategy} q/s", f"{strategy} p95",
+                            f"{strategy} queue", f"{strategy} steal KB"]
+            rows = []
+            for mpl in mpls:
+                row: list[object] = [mpl]
+                for strategy in strategies:
+                    cell = self.cell(strategy, skew, mpl)
+                    row += [
+                        f"{cell.throughput:.2f}",
+                        f"{cell.p95_latency:.3f}",
+                        f"{cell.mean_queueing_delay:.3f}",
+                        f"{cell.steal_bytes / 1024:.1f}",
+                    ]
+                rows.append(row)
+            blocks.append(format_table(
+                headers, rows,
+                title=f"Workload sweep, redistribution skew {skew:.1f} "
+                      f"(closed loop, throughput in queries/s)",
+            ))
+        return "\n\n".join(blocks)
+
+
+def run(options: Optional[ExperimentOptions] = None,
+        mpl_levels: Sequence[int] = MPL_LEVELS,
+        skew_levels: Sequence[float] = SKEW_LEVELS,
+        strategies: Sequence[str] = STRATEGIES,
+        nodes: int = 4, processors_per_node: int = 8,
+        base_tuples: int = 4000,
+        queries_per_cell: int = 16) -> WorkloadSweepResult:
+    """Sweep MPL × skew × strategy on the Section 5.3 pipeline chain."""
+    options = options or ExperimentOptions()
+    plan, config = pipeline_chain_scenario(
+        nodes=nodes, processors_per_node=processors_per_node,
+        base_tuples=base_tuples,
+    )
+    cells: list[SweepCell] = []
+    for skew in skew_levels:
+        params = scaled_execution_params(
+            scale=options.scale,
+            skew=(SkewSpec.uniform_redistribution(skew) if skew > 0
+                  else SkewSpec.none()),
+            seed=options.seed,
+        )
+        for strategy in strategies:
+            for mpl in mpl_levels:
+                spec = WorkloadSpec(
+                    queries=queries_per_cell,
+                    arrival=ArrivalSpec(kind="closed", population=mpl),
+                    strategy=strategy,
+                    policy=AdmissionPolicy(max_multiprogramming=mpl),
+                    seed=options.seed,
+                )
+                result = WorkloadDriver(plan, config, spec, params).run()
+                metrics = result.metrics
+                cells.append(SweepCell(
+                    strategy=strategy,
+                    skew=skew,
+                    mpl=mpl,
+                    throughput=metrics.throughput(),
+                    p50_latency=metrics.p50_latency,
+                    p95_latency=metrics.p95_latency,
+                    p99_latency=metrics.p99_latency,
+                    mean_queueing_delay=metrics.mean_queueing_delay(),
+                    cpu_contention=metrics.total_cpu_contention(),
+                    steal_bytes=metrics.total_steal_bytes(),
+                ))
+    return WorkloadSweepResult(cells=tuple(cells), options=options)
+
+
+def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Sweep multiprogramming level x skew x strategy."
+    )
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--procs", type=int, default=8)
+    parser.add_argument("--tuples", type=int, default=4000)
+    parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid for smoke runs")
+    args = parser.parse_args(argv)
+    options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
+    kwargs = dict(nodes=args.nodes, processors_per_node=args.procs,
+                  base_tuples=args.tuples, queries_per_cell=args.queries)
+    if args.quick:
+        kwargs.update(nodes=2, processors_per_node=4, base_tuples=2000,
+                      queries_per_cell=8, mpl_levels=(1, 4),
+                      skew_levels=(0.8,))
+    result = run(options, **kwargs)
+    print(result.table())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Serving layer: concurrent query streams on one simulated machine.
+
+The paper (and :mod:`repro.engine`) executes one query at a time; the
+ROADMAP's north star is a system serving sustained traffic.  This package
+adds the missing regime — multiprogramming — without forking the engine:
+
+* :class:`SharedSubstrate` — one environment/machine/processors/disks
+  shared by many executions (:mod:`repro.serving.substrate`);
+* :class:`ArrivalSpec` — open-loop (Poisson, bursty) and closed-loop
+  arrival processes (:mod:`repro.serving.arrivals`);
+* :class:`AdmissionController` — gates admissions on multiprogramming
+  level and live free node memory (:mod:`repro.serving.admission`);
+* :class:`MultiQueryCoordinator` — runs many ``ExecutionContext``s in one
+  environment so threads contend for processors and the steal protocol
+  balances load under inter-query pressure
+  (:mod:`repro.serving.coordinator`);
+* :class:`WorkloadDriver` — seeded end-to-end workload runs returning
+  :class:`~repro.engine.metrics.WorkloadMetrics`
+  (:mod:`repro.serving.driver`).
+
+Quickstart::
+
+    from repro.serving import ArrivalSpec, WorkloadDriver, WorkloadSpec
+    from repro.workloads import pipeline_chain_scenario
+
+    plan, config = pipeline_chain_scenario(nodes=2, processors_per_node=4)
+    spec = WorkloadSpec(queries=16,
+                        arrival=ArrivalSpec(kind="closed", population=8))
+    result = WorkloadDriver(plan, config, spec).run()
+    print(result.metrics.throughput(), result.metrics.p95_latency)
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, estimated_node_demand
+from .arrivals import ArrivalSpec, sample_arrival_times
+from .coordinator import MultiQueryCoordinator, QueryRequest
+from .driver import WorkloadDriver, WorkloadRunResult, WorkloadSpec
+from .substrate import SharedSubstrate
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "estimated_node_demand",
+    "ArrivalSpec",
+    "sample_arrival_times",
+    "MultiQueryCoordinator",
+    "QueryRequest",
+    "WorkloadDriver",
+    "WorkloadRunResult",
+    "WorkloadSpec",
+    "SharedSubstrate",
+]

@@ -1,0 +1,129 @@
+"""Admission control: gate concurrent queries on memory and MPL.
+
+The paper's engine assumes "each pipeline chain fits in memory" (Section
+2.2) — safe when one query owns the machine, violated as soon as several
+run concurrently and their hash tables compete for the same node pools
+(:class:`~repro.sim.machine.MemoryExhausted` is the failure mode).  The
+admission controller restores the invariant for multi-query workloads by
+holding arrivals in a FIFO queue until the machine can take them.
+
+Two gates, both read from live shared state rather than static reservations:
+
+* **multiprogramming level** — at most ``max_multiprogramming`` queries
+  executing at once (the knob the workload experiments sweep);
+* **memory** — the query's estimated per-node hash-table demand must fit
+  into every home node's *current* free memory with ``memory_headroom``
+  to spare.  The signal is the same per-node ``SMNode.available`` the
+  steal protocol ships in its *starving* messages (condition (i): "the
+  requester must be able to store the activations and corresponding
+  data"), so admission and load balancing see one consistent picture.
+
+The estimate is deliberately the optimizer's, not the truth: admission
+decisions in real systems are made from cost-model cardinalities, and an
+under-estimate can still overcommit (the engine then degrades, it does
+not crash — stolen-copy installation already tolerates full nodes).  A
+query whose demand can *never* fit (more than a node's capacity) is
+admitted alone rather than deferred forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..optimizer.operator_tree import OpKind
+from ..optimizer.plan import ParallelExecutionPlan
+
+__all__ = ["AdmissionPolicy", "AdmissionController", "estimated_node_demand"]
+
+
+def estimated_node_demand(plan: ParallelExecutionPlan) -> Dict[int, int]:
+    """node id -> estimated hash-table bytes the plan pins there.
+
+    Every build operator materializes its (estimated) input as a hash
+    table spread over its home nodes; scans and probes stream and pin
+    only bounded queue space, which the flow-control bounds already cap.
+    """
+    tuple_size = max(
+        (rel.tuple_size for rel in plan.graph.relations.values()), default=100
+    )
+    demand: Dict[int, int] = {}
+    for op in plan.operators:
+        if op.kind is not OpKind.BUILD:
+            continue
+        home = plan.homes[op.op_id]
+        if not home:
+            continue
+        per_node = int(op.input_cardinality * tuple_size / len(home))
+        for node_id in home:
+            demand[node_id] = demand.get(node_id, 0) + per_node
+    return demand
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission knobs.
+
+    ``max_multiprogramming`` caps concurrently executing queries;
+    ``memory_headroom`` is the fraction of a node's *free* memory a new
+    query's estimated demand may claim (the rest absorbs estimate error,
+    stolen hash-table copies and queue growth).
+    """
+
+    max_multiprogramming: int = 8
+    memory_headroom: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.max_multiprogramming < 1:
+            raise ValueError(
+                f"max_multiprogramming must be >= 1, got "
+                f"{self.max_multiprogramming}"
+            )
+        if not 0.0 < self.memory_headroom <= 1.0:
+            raise ValueError(
+                f"memory_headroom must be in (0, 1], got {self.memory_headroom}"
+            )
+
+
+class AdmissionController:
+    """Decides when a queued query may start executing."""
+
+    def __init__(self, substrate, policy: AdmissionPolicy = AdmissionPolicy()):
+        self.substrate = substrate
+        self.policy = policy
+        # --- statistics -------------------------------------------------
+        self.admitted = 0
+        #: queries that waited on a closed gate at least once (counted
+        #: per query by the coordinator, not per gate re-evaluation).
+        self.deferrals = 0
+
+    def can_admit(self, plan: ParallelExecutionPlan,
+                  live_queries: Optional[int] = None) -> bool:
+        """Whether ``plan`` may start now, given live machine state.
+
+        A pure predicate (no statistics side effects), safe to call from
+        tests and diagnostics.  ``live_queries`` overrides the
+        substrate's context count — the coordinator passes its own
+        running count, which also covers SP executions (they have no
+        ``ExecutionContext`` to register).
+        """
+        substrate = self.substrate
+        live = substrate.live_queries if live_queries is None else live_queries
+        if live >= self.policy.max_multiprogramming:
+            return False
+        if live == 0:
+            # Progress guarantee: an empty machine always takes the head
+            # query, even one whose estimate can never fit.
+            return True
+        demand = estimated_node_demand(plan)
+        for node_id, nbytes in demand.items():
+            free = substrate.free_memory(node_id)
+            if nbytes > free * self.policy.memory_headroom:
+                return False
+        return True
+
+    def on_admitted(self) -> None:
+        self.admitted += 1
+
+    def on_deferred(self) -> None:
+        self.deferrals += 1

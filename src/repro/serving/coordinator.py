@@ -1,0 +1,262 @@
+"""Multi-query coordinator: many executions, one machine, one clock.
+
+Maps the paper's Section 4 runtime onto multiprogramming.  In the paper,
+query execution starts by creating one thread per processor plus a
+scheduler thread per SM-node, all dedicated to the single query.  Under
+the coordinator each admitted query still gets exactly that — its own
+:class:`~repro.engine.context.ExecutionContext` with per-node
+:class:`~repro.engine.scheduler.NodeScheduler` instances and one
+:class:`~repro.engine.thread_exec.ExecutionThread` per processor — but
+the *physical* processors, disks and node memory come from a
+:class:`~repro.serving.substrate.SharedSubstrate`, so the threads of
+concurrent queries FIFO-share each processor at activation granularity
+(the node OS time-slicing the paper delegates to the KSR1).  Activation
+queues, the steal protocol, flow control and operator-end detection all
+run per query, unchanged; what becomes *inter-query* is the contention —
+CPU, disk arms, memory — and the provider-ranking load signal of the
+steal protocol (see :meth:`ExecutionContext.node_load`).
+
+Lifecycle of a query: ``submit()`` (arrival) -> FIFO admission queue ->
+:class:`~repro.serving.admission.AdmissionController` releases it
+(start) -> execution on the shared substrate -> root operator terminates
+(completion), recorded as a :class:`~repro.engine.metrics.QueryCompletion`
+with its queueing delay and execution time separated.
+
+SP queries are coordinated too (single-node substrates only): the SP
+executor's driver process runs inside the shared environment and its
+workers charge the shared processors, so SP streams contend with
+activation-model queries — mixed-strategy workloads are legal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Optional
+
+from ..engine.context import ExecutionContext, ExecutionDeadlock
+from ..engine.executor import QueryExecutor
+from ..engine.metrics import QueryCompletion, WorkloadMetrics
+from ..engine.params import ExecutionParams
+from ..engine.strategies.base import StrategyError
+from ..engine.strategies.sp import SynchronousPipeliningExecutor
+from ..optimizer.plan import ParallelExecutionPlan
+from ..sim.core import Event
+from ..sim.machine import MachineConfig
+from .admission import AdmissionController, AdmissionPolicy
+from .substrate import SharedSubstrate
+
+__all__ = ["QueryRequest", "MultiQueryCoordinator"]
+
+
+class QueryRequest:
+    """One submitted query: identity, timestamps, completion event."""
+
+    __slots__ = ("query_id", "plan", "strategy", "params", "arrival_time",
+                 "start_time", "done", "completion", "context", "_sp",
+                 "deferred")
+
+    def __init__(self, query_id: int, plan: ParallelExecutionPlan,
+                 strategy: str, params: ExecutionParams,
+                 arrival_time: float, done: Event):
+        self.query_id = query_id
+        self.plan = plan
+        self.strategy = strategy
+        self.params = params
+        self.arrival_time = arrival_time
+        self.start_time: Optional[float] = None
+        #: fires (with the QueryCompletion) when the query finishes —
+        #: closed-loop clients wait on it.
+        self.done = done
+        self.completion: Optional[QueryCompletion] = None
+        self.context: Optional[ExecutionContext] = None
+        self._sp: Optional[SynchronousPipeliningExecutor] = None
+        #: set once the query has waited on a closed admission gate
+        #: (deferral is counted per query, not per re-evaluation).
+        self.deferred = False
+
+
+class MultiQueryCoordinator:
+    """Runs many query executions inside one shared environment."""
+
+    def __init__(self, config: MachineConfig,
+                 params: Optional[ExecutionParams] = None,
+                 policy: AdmissionPolicy = AdmissionPolicy()):
+        self.config = config
+        self.params = params or ExecutionParams()
+        self.substrate = SharedSubstrate(config, self.params)
+        self.admission = AdmissionController(self.substrate, policy)
+        self.env = self.substrate.env
+        self.pending: deque[QueryRequest] = deque()
+        self.running: dict[int, QueryRequest] = {}
+        #: highest number of simultaneously executing queries observed —
+        #: the admission tests assert it never exceeds the policy cap.
+        self.peak_running = 0
+        self.metrics = WorkloadMetrics()
+        self._arrivals_open = True
+        self._kick: Optional[Event] = None
+        self._next_query_id = 0
+        self._used_query_ids: set[int] = set()
+        # Mid-execution memory releases (probe ends freeing hash tables)
+        # re-evaluate admission without waiting for a whole completion.
+        self.substrate.on_memory_release = self._poke
+        self._admission_process = self.env.process(
+            self._admission_loop(), name="admission"
+        )
+
+    # -- submission (called at arrival time, inside the simulation) ---------
+
+    def submit(self, plan: ParallelExecutionPlan,
+               strategy: Optional[str] = None,
+               params: Optional[ExecutionParams] = None,
+               query_id: Optional[int] = None) -> QueryRequest:
+        """Register an arriving query; it executes when admission allows."""
+        if not self._arrivals_open:
+            raise RuntimeError("arrivals are closed; cannot submit")
+        if (strategy or "DP").upper() == "SP" and self.config.nodes != 1:
+            # Fail at submission, not deep inside the admission loop: SP
+            # is the shared-memory model and only runs on 1-node machines.
+            raise StrategyError(
+                "SP queries need a single-SM-node substrate; this machine "
+                f"has {self.config.nodes} nodes"
+            )
+        if query_id is None:
+            query_id = self._next_query_id
+        if query_id in self._used_query_ids:
+            raise ValueError(f"query id {query_id} already submitted")
+        self._used_query_ids.add(query_id)
+        self._next_query_id = max(self._next_query_id, query_id + 1)
+        request = QueryRequest(
+            query_id=query_id,
+            plan=plan,
+            strategy=(strategy or "DP").upper(),
+            params=params or self.params,
+            arrival_time=self.env.now,
+            done=self.env.event(f"query-done:{query_id}"),
+        )
+        self.pending.append(request)
+        self._poke()
+        return request
+
+    def close_arrivals(self) -> None:
+        """No more submissions: the run ends when the queues drain."""
+        self._arrivals_open = False
+        self._poke()
+
+    # -- admission loop ------------------------------------------------------
+
+    def _poke(self) -> None:
+        if self._kick is not None and not self._kick.triggered:
+            kick, self._kick = self._kick, None
+            kick.succeed()
+
+    def _admission_loop(self):
+        """FIFO admission: release head-of-line queries while gates allow."""
+        while True:
+            while self.pending and self.admission.can_admit(
+                    self.pending[0].plan, live_queries=len(self.running)):
+                request = self.pending.popleft()
+                self.admission.on_admitted()
+                self._start(request)
+            if self.pending and not self.pending[0].deferred:
+                # Count the deferral once per query, not once per gate
+                # re-evaluation.
+                self.pending[0].deferred = True
+                self.admission.on_deferred()
+            if (not self._arrivals_open and not self.pending
+                    and not self.running):
+                return
+            self._kick = self.env.event("admission-kick")
+            yield self._kick
+
+    # -- query start / completion -------------------------------------------
+
+    def _start(self, request: QueryRequest) -> None:
+        request.start_time = self.env.now
+        self.running[request.query_id] = request
+        self.peak_running = max(self.peak_running, len(self.running))
+        if request.strategy == "SP":
+            sp = SynchronousPipeliningExecutor(
+                request.plan, self.config, request.params
+            )
+            request._sp = sp
+            driver = sp.launch(
+                self.env, self.substrate.disks[0], self.substrate.processors[0],
+                query_id=request.query_id,
+            )
+            driver.callbacks.append(
+                lambda _event, req=request: self._finish_sp(req)
+            )
+        else:
+            executor = QueryExecutor(
+                request.plan, self.config, strategy=request.strategy,
+                params=request.params,
+            )
+            context = executor.launch(
+                substrate=self.substrate, query_id=request.query_id
+            )
+            request.context = context
+            context.finished.callbacks.append(
+                lambda _event, req=request, ex=executor:
+                    self._finish_engine(req, ex)
+            )
+
+    def _finish_engine(self, request: QueryRequest,
+                       executor: QueryExecutor) -> None:
+        context = request.context
+        queueing = request.start_time - request.arrival_time
+        context.metrics.queueing_delay = queueing
+        result = dataclasses.replace(
+            executor.collect(context), queueing_delay=queueing
+        )
+        self._record(request, result)
+
+    def _finish_sp(self, request: QueryRequest) -> None:
+        queueing = request.start_time - request.arrival_time
+        sp = request._sp
+        sp.metrics.queueing_delay = queueing
+        result = dataclasses.replace(
+            sp.collect(start_time=request.start_time, end_time=self.env.now),
+            queueing_delay=queueing,
+        )
+        self._record(request, result)
+
+    def _record(self, request: QueryRequest, result) -> None:
+        completion = QueryCompletion(
+            query_id=request.query_id,
+            plan_label=request.plan.label,
+            strategy=request.strategy,
+            arrival_time=request.arrival_time,
+            start_time=request.start_time,
+            completion_time=self.env.now,
+            result=result,
+        )
+        request.completion = completion
+        self.metrics.record(completion)
+        del self.running[request.query_id]
+        if not request.done.triggered:
+            request.done.succeed(completion)
+        self._poke()
+
+    # -- whole-run driver -----------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> WorkloadMetrics:
+        """Run the shared simulation until all work drains (or ``until``).
+
+        Raises :class:`~repro.engine.context.ExecutionDeadlock` if the
+        event heap drains with queries still pending or running — which
+        would indicate an engine or admission bug, exactly like the
+        single-query deadlock check.
+        """
+        self.env.run(until=until)
+        leftover = len(self.pending) + len(self.running)
+        if leftover and until is None:
+            for request in self.running.values():
+                if request.context is not None:
+                    request.context.assert_all_terminated()
+            raise ExecutionDeadlock(
+                f"workload wedged: {len(self.pending)} pending, "
+                f"{len(self.running)} running"
+            )
+        self.metrics.unfinished = leftover
+        return self.metrics

@@ -1,0 +1,189 @@
+"""Workload driver: seeded query streams against one shared machine.
+
+The top of the serving stack: a :class:`WorkloadDriver` turns a plan
+population (anything from a single canned scenario plan to the 40-plan
+paper workload of :mod:`repro.workloads.plans`) plus a
+:class:`~repro.serving.arrivals.ArrivalSpec` into a running multi-query
+simulation, and returns the aggregate
+:class:`~repro.engine.metrics.WorkloadMetrics`.
+
+Determinism contract: a driver run is a pure function of ``(plans,
+config, spec, params)``.  Plan choice, arrival times, think times and
+every per-query engine stream (routing, trigger skew) derive from the
+spec's master seed via named :class:`~repro.sim.rng.RandomStreams`; the
+shared environment orders simultaneous events by its ``(time, priority,
+sequence)`` heap.  Two identical runs produce byte-identical
+``metrics.summary()`` output — the regression suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Union
+
+from ..engine.metrics import WorkloadMetrics
+from ..engine.params import ExecutionParams
+from ..optimizer.plan import ParallelExecutionPlan
+from ..sim.machine import MachineConfig
+from ..sim.rng import RandomStreams, derive_seed
+from .admission import AdmissionPolicy
+from .arrivals import ArrivalSpec, sample_arrival_times
+from .coordinator import MultiQueryCoordinator
+
+__all__ = ["WorkloadSpec", "WorkloadRunResult", "WorkloadDriver"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of one multi-query workload run."""
+
+    #: total queries to submit and complete.
+    queries: int = 16
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    #: execution strategy for every query ("DP", "FP" or "SP").
+    strategy: str = "DP"
+    policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    #: master seed: plan choice, arrivals, think times and all per-query
+    #: engine randomness derive from it.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queries < 1:
+            raise ValueError(f"queries must be >= 1, got {self.queries}")
+
+
+@dataclass
+class WorkloadRunResult:
+    """A finished workload run: aggregate metrics plus provenance."""
+
+    spec: WorkloadSpec
+    config_label: str
+    metrics: WorkloadMetrics
+    admitted: int
+    deferrals: int
+
+    def __str__(self) -> str:
+        m = self.metrics
+        return (
+            f"workload [{self.spec.strategy} on {self.config_label}, "
+            f"{self.spec.arrival.kind}]: {m.completed} queries in "
+            f"{m.makespan:.3f}s, {m.throughput():.2f} q/s, "
+            f"p95 latency {m.p95_latency:.3f}s, "
+            f"mean queueing {m.mean_queueing_delay():.3f}s"
+        )
+
+
+class WorkloadDriver:
+    """Generates a seeded query stream and runs it to completion."""
+
+    def __init__(self,
+                 plans: Union[ParallelExecutionPlan,
+                              Sequence[ParallelExecutionPlan]],
+                 config: MachineConfig,
+                 spec: Optional[WorkloadSpec] = None,
+                 params: Optional[ExecutionParams] = None):
+        if isinstance(plans, ParallelExecutionPlan):
+            plans = [plans]
+        if not plans:
+            raise ValueError("need at least one plan to draw queries from")
+        self.plans = list(plans)
+        self.config = config
+        self.spec = spec or WorkloadSpec()
+        self.params = params or ExecutionParams()
+        self.streams = RandomStreams(derive_seed(self.spec.seed, "workload"))
+
+    # -- per-query derivations ----------------------------------------------
+
+    def _plan_for(self, index: int) -> ParallelExecutionPlan:
+        """Deterministic plan choice for the ``index``-th submission."""
+        if len(self.plans) == 1:
+            return self.plans[0]
+        rng = self.streams.stream("plan-choice")
+        return self.plans[rng.randrange(len(self.plans))]
+
+    def _params_for(self, index: int) -> ExecutionParams:
+        """Per-query engine params: an independent seed per query, so two
+        instances of the same plan do not draw identical routing skew."""
+        return replace(
+            self.params,
+            seed=derive_seed(self.spec.seed, f"query:{index}"),
+        )
+
+    # -- arrival generators ---------------------------------------------------
+
+    def _open_loop_arrivals(self, coordinator: MultiQueryCoordinator):
+        """Submit the precomputed open-loop schedule, then close arrivals."""
+        times = sample_arrival_times(
+            self.spec.arrival, self.spec.queries, self.streams
+        )
+        env = coordinator.env
+        for index, when in enumerate(times):
+            delay = when - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            coordinator.submit(
+                self._plan_for(index), strategy=self.spec.strategy,
+                params=self._params_for(index), query_id=index,
+            )
+        coordinator.close_arrivals()
+
+    def _closed_loop_client(self, coordinator: MultiQueryCoordinator,
+                            client_id: int, counter: list):
+        """One closed-loop client: submit, wait, think, repeat."""
+        env = coordinator.env
+        think_rng = self.streams.stream(f"think:{client_id}")
+        while counter[0] < self.spec.queries:
+            index = counter[0]
+            counter[0] += 1
+            request = coordinator.submit(
+                self._plan_for(index), strategy=self.spec.strategy,
+                params=self._params_for(index), query_id=index,
+            )
+            yield request.done
+            think = self.spec.arrival.think_time
+            if think > 0 and counter[0] < self.spec.queries:
+                yield env.timeout(think_rng.expovariate(1.0 / think))
+        counter[1] -= 1
+        if counter[1] == 0:
+            coordinator.close_arrivals()
+
+    # -- the run ----------------------------------------------------------------
+
+    def build_coordinator(self) -> MultiQueryCoordinator:
+        """The coordinator with all arrival processes installed (not run).
+
+        Exposed separately so tests and experiments can inspect or step
+        the environment themselves.
+        """
+        coordinator = MultiQueryCoordinator(
+            self.config, params=self.params, policy=self.spec.policy
+        )
+        env = coordinator.env
+        if self.spec.arrival.open_loop:
+            env.process(self._open_loop_arrivals(coordinator), name="arrivals")
+        else:
+            population = min(self.spec.arrival.population, self.spec.queries)
+            counter = [0, population]  # [next index, live clients]
+            for client_id in range(population):
+                env.process(
+                    self._closed_loop_client(coordinator, client_id, counter),
+                    name=f"client:{client_id}",
+                )
+        return coordinator
+
+    def run(self) -> WorkloadRunResult:
+        """Run the whole workload to completion."""
+        coordinator = self.build_coordinator()
+        metrics = coordinator.run()
+        if metrics.completed != self.spec.queries:
+            raise RuntimeError(
+                f"workload incomplete: {metrics.completed} of "
+                f"{self.spec.queries} queries finished"
+            )
+        return WorkloadRunResult(
+            spec=self.spec,
+            config_label=self.config.describe(),
+            metrics=metrics,
+            admitted=coordinator.admission.admitted,
+            deferrals=coordinator.admission.deferrals,
+        )

@@ -1,0 +1,138 @@
+"""Shared physical substrate for concurrent query executions.
+
+The paper executes one query at a time: each
+:class:`~repro.engine.context.ExecutionContext` owns its environment,
+machine, disks and (implicitly) processors.  The serving layer breaks that
+exclusivity: a :class:`SharedSubstrate` owns the physical state once —
+
+* one :class:`~repro.sim.core.Environment` (so every query's events merge
+  onto a single deterministic ``(time, priority, sequence)`` heap),
+* one :class:`~repro.sim.machine.Machine` (node memory pools shared: hash
+  tables of concurrent queries compete for the same bytes, and the
+  admission controller reads the live free-memory signal the steal
+  protocol already uses),
+* one :class:`~repro.sim.machine.Processor` per (node, index) (threads of
+  different queries FIFO-queue behind each other's CPU charges),
+* one :class:`~repro.sim.disk.Disk` per (node, arm) (concurrent scans
+  contend for arms; read streams are query-scoped so the sequential
+  prefetch never conflates two queries' scans)
+
+— and every concurrent :class:`ExecutionContext` borrows it.  Each context
+keeps a private :class:`~repro.sim.network.Network` overlay: the modelled
+network has infinite bandwidth and a fixed delay, so per-query overlays on
+one environment are observationally identical to a single multiplexed
+network, while per-query traffic counters (steal bytes per query) stay
+exact and free.
+
+The substrate also aggregates the *cross-query* load signal
+(:meth:`node_load`): the steal protocol ranks provider nodes by
+machine-wide queued work, so a node saturated by another query is a better
+steal victim than an idle one — the inter-query dimension of the paper's
+load balancing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.params import ExecutionParams
+from ..sim.core import Environment
+from ..sim.disk import Disk
+from ..sim.machine import (Machine, MachineConfig, Processor, make_disks,
+                           make_processors)
+
+__all__ = ["SharedSubstrate"]
+
+
+class SharedSubstrate:
+    """One physical machine shared by many concurrent query executions."""
+
+    def __init__(self, config: MachineConfig,
+                 params: Optional[ExecutionParams] = None):
+        self.config = config
+        self.params = params or ExecutionParams()
+        self.env = Environment()
+        self.machine = Machine(config)
+        self.processors: list[list[Processor]] = make_processors(self.env, config)
+        self.disks: list[list[Disk]] = make_disks(
+            self.env, self.params.disk, config
+        )
+        #: live (admitted, unfinished) execution contexts.
+        self.contexts: list = []
+        #: total contexts ever registered (diagnostics).
+        self.total_registered = 0
+        #: hook the coordinator installs so mid-execution memory releases
+        #: (a probe's end freeing its join's hash tables) re-evaluate
+        #: admission immediately instead of waiting for a completion.
+        self.on_memory_release = None
+
+    # -- context registry ---------------------------------------------------
+
+    def register_context(self, context) -> None:
+        """A query execution was admitted onto this machine."""
+        if context.config.nodes != self.config.nodes:
+            raise ValueError(
+                f"context expects {context.config.nodes} nodes but the "
+                f"substrate has {self.config.nodes}"
+            )
+        if context.config.processors_per_node != self.config.processors_per_node:
+            raise ValueError(
+                f"context expects {context.config.processors_per_node} "
+                f"processors/node but the substrate has "
+                f"{self.config.processors_per_node}"
+            )
+        # Per-query params may legitimately differ in seed, skew, batch
+        # sizes etc., but the *hardware* models must match the shared
+        # devices this substrate already built — a query with a different
+        # disk model or CPU speed would silently mix two machines.
+        if context.params.disk != self.params.disk:
+            raise ValueError(
+                "context disk parameters differ from the shared substrate's; "
+                "the disks are shared hardware and were built from the "
+                "substrate's model"
+            )
+        if context.params.cost.mips != self.params.cost.mips:
+            raise ValueError(
+                "context CPU speed (cost.mips) differs from the shared "
+                "substrate's; processors are shared hardware"
+            )
+        self.contexts.append(context)
+        self.total_registered += 1
+
+    def notify_memory_released(self) -> None:
+        """Engine hook: a query freed node memory mid-execution."""
+        if self.on_memory_release is not None:
+            self.on_memory_release()
+
+    def unregister_context(self, context) -> None:
+        """A query execution completed; drop it from the live set."""
+        try:
+            self.contexts.remove(context)
+        except ValueError:
+            pass
+
+    @property
+    def live_queries(self) -> int:
+        """Currently admitted, unfinished query executions."""
+        return len(self.contexts)
+
+    # -- cross-query signals ------------------------------------------------
+
+    def node_load(self, node_id: int) -> int:
+        """Queued activations on ``node_id`` summed over all live queries."""
+        return sum(
+            context.nodes[node_id].total_queued_activations()
+            for context in self.contexts
+        )
+
+    def free_memory(self, node_id: int) -> int:
+        """Unreserved bytes on ``node_id`` (live across all queries)."""
+        return self.machine.node(node_id).available
+
+    def min_free_memory(self) -> int:
+        """The tightest node's free memory — the admission bottleneck."""
+        return min(node.available for node in self.machine.nodes)
+
+    def cpu_pressure(self) -> int:
+        """Threads currently queued for a processor, machine-wide."""
+        return sum(p.queued for row in self.processors for p in row)

@@ -10,11 +10,14 @@ from .core import (
     Event,
     Interrupt,
     Process,
+    Resource,
     SimulationError,
     Timeout,
 )
 from .disk import AsyncReadHandle, Disk, DiskParams
-from .machine import KB, MB, PAGE_SIZE, Machine, MachineConfig, MemoryExhausted, SMNode
+from .machine import (KB, MB, PAGE_SIZE, Machine, MachineConfig,
+                      MemoryExhausted, Processor, SMNode, make_disks,
+                      make_processors)
 from .network import Message, Network, NetworkParams
 from .rng import RandomStreams, derive_seed
 
@@ -23,6 +26,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "Resource",
     "SimulationError",
     "Timeout",
     "AsyncReadHandle",
@@ -34,6 +38,9 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "MemoryExhausted",
+    "Processor",
+    "make_disks",
+    "make_processors",
     "SMNode",
     "Message",
     "Network",

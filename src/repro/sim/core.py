@@ -25,12 +25,24 @@ The kernel is a small, simpy-flavoured engine:
 
 Events fire in (time, priority, sequence) order, so simultaneous events are
 processed deterministically in scheduling order.
+
+An :class:`Environment` supports any number of *root* processes: every
+query execution, arrival generator and admission loop of the serving layer
+(:mod:`repro.serving`) runs as an independent process inside one shared
+environment, so their events interleave on the single (time, priority,
+sequence) heap and multi-query runs stay exactly as deterministic as
+single-query runs.
+
+:class:`Resource` adds the one synchronization primitive the engine needs
+beyond events: a FIFO resource with a bounded number of slots, used to
+model processors shared by the threads of concurrent queries.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -39,6 +51,7 @@ __all__ = [
     "Timeout",
     "Process",
     "Interrupt",
+    "Resource",
     "SimulationError",
     "NORMAL",
     "HIGH",
@@ -347,3 +360,84 @@ class Environment:
         for ev in events:
             ev.callbacks.append(cb)
         return gate
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` slots.
+
+    Processes hold a slot for the duration of a :meth:`use` block (or an
+    explicit :meth:`acquire`/:meth:`release` pair).  Waiters are served
+    strictly first-come-first-served; a released slot is handed directly
+    to the oldest waiter, so later arrivals can never barge past it even
+    when they run at the same virtual timestamp.
+
+    The uncontended fast path schedules no extra events: ``yield from
+    resource.use(d)`` with a free slot is event-for-event identical to
+    ``yield env.timeout(d)``.  Single-owner executions (one thread per
+    processor, as in a lone query) therefore behave bit-identically to a
+    plain timeout, while concurrent queries sharing the processor queue
+    behind each other — the contention the serving layer measures.
+
+    Limitation: interrupting a process that is parked in :meth:`acquire`
+    leaks its queue slot; the engine never interrupts threads in these
+    paths.
+    """
+
+    __slots__ = ("env", "capacity", "name", "users", "_waiters",
+                 "busy_time", "wait_time", "waits")
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users = 0
+        self._waiters: deque[Event] = deque()
+        # --- statistics -------------------------------------------------
+        self.busy_time = 0.0
+        self.wait_time = 0.0
+        self.waits = 0
+
+    @property
+    def queued(self) -> int:
+        """Processes currently waiting for a slot."""
+        return len(self._waiters)
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self.users
+
+    def acquire(self) -> Generator:
+        """Wait for (and take) a slot; ``yield from`` this generator."""
+        if self.users < self.capacity and not self._waiters:
+            self.users += 1
+            return
+        event = self.env.event(f"acquire:{self.name}")
+        self._waiters.append(event)
+        self.waits += 1
+        started = self.env.now
+        yield event  # release() hands us the slot; ``users`` stays counted
+        self.wait_time += self.env.now - started
+
+    def release(self) -> None:
+        """Return a slot; hands it straight to the oldest waiter if any."""
+        if self.users < 1:
+            raise SimulationError(f"resource {self.name!r} released too often")
+        if self._waiters:
+            # Ownership transfer: ``users`` is unchanged, so a process
+            # arriving between this release and the waiter's resumption
+            # still sees the resource full and queues behind it.
+            self._waiters.popleft().succeed()
+        else:
+            self.users -= 1
+
+    def use(self, delay: float) -> Generator:
+        """Hold one slot for ``delay`` virtual seconds (FIFO queueing)."""
+        yield from self.acquire()
+        try:
+            yield self.env.timeout(delay)
+            self.busy_time += delay
+        finally:
+            self.release()

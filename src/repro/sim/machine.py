@@ -16,10 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .core import Environment, Resource
+
 __all__ = [
     "MachineConfig",
     "SMNode",
     "Machine",
+    "Processor",
+    "make_processors",
     "MemoryExhausted",
     "KB",
     "MB",
@@ -145,6 +149,54 @@ class SMNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SMNode {self.node_id} mem={self.used}/{self.capacity}>"
+
+
+class Processor(Resource):
+    """One physical processor, shared by the threads of concurrent queries.
+
+    A capacity-1 FIFO :class:`~repro.sim.core.Resource`: every CPU charge
+    of an execution thread holds the processor for its duration, so
+    threads of different queries mapped to the same ``(node, index)``
+    time-share it at activation granularity — the paper's Section 3.1
+    model extended to multiprogramming (one thread per processor *per
+    query*, multiplexed by the node OS).
+
+    With a single query there is exactly one thread per processor and the
+    resource is never contended, so execution is event-for-event identical
+    to charging plain timeouts (see :class:`Resource`).
+    """
+
+    __slots__ = ("node_id", "index")
+
+    def __init__(self, env: Environment, node_id: int, index: int):
+        super().__init__(env, capacity=1, name=f"cpu:n{node_id}.{index}")
+        self.node_id = node_id
+        self.index = index
+
+
+def make_processors(env: Environment, config: MachineConfig
+                    ) -> list[list[Processor]]:
+    """One :class:`Processor` per (node, index) of ``config``."""
+    return [
+        [Processor(env, node_id, index)
+         for index in range(config.processors_per_node)]
+        for node_id in range(config.nodes)
+    ]
+
+
+def make_disks(env: Environment, disk_params, config: MachineConfig):
+    """One disk per (node, processor) of ``config`` (the paper's layout).
+
+    The single source of the disk-grid shape and naming, shared by
+    context-owned and serving-shared substrates so they can never
+    desynchronize.
+    """
+    from .disk import Disk  # late import: disk depends only on core
+    return [
+        [Disk(env, disk_params, name=f"d{node_id}.{d}")
+         for d in range(config.processors_per_node)]
+        for node_id in range(config.nodes)
+    ]
 
 
 class Machine:

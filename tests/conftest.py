@@ -1,0 +1,28 @@
+"""Shared test configuration: fixed hypothesis profiles.
+
+Two profiles:
+
+* ``dev`` (default) — hypothesis's usual randomized exploration, with
+  deadlines off (simulation runs have legitimate long tails);
+* ``ci`` — fully derandomized: examples are derived from the test
+  structure only, so CI runs are reproducible byte-for-byte.  Selected
+  with ``HYPOTHESIS_PROFILE=ci`` (the GitHub Actions workflow and
+  ``make check`` do this).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -182,3 +182,165 @@ class TestRemoteCredits:
         cell = channel.router.cells[remote_cells[0]]
         channel.on_credit(cell, 5)
         assert channel.parked_activations() < before
+
+
+# ---------------------------------------------------------------------------
+# Steal protocol: the paper's five conditions (Sections 3.2 and 4)
+# ---------------------------------------------------------------------------
+
+def make_steal_context(params=None):
+    """A two-node context with schedulers, probe unblocked on both nodes."""
+    from repro.engine.scheduler import NodeScheduler
+
+    context = make_context(nodes=2, procs=2, params=params)
+    for node in context.nodes:
+        NodeScheduler(context, node)
+    probe = context.plan.operators.probes()[0]
+    runtime = context.ops[probe.op_id]
+    runtime.blocked = False
+    for node_id in runtime.home:
+        context.nodes[node_id].queue_sets[probe.op_id].set_blocked(False)
+    return context, runtime
+
+
+def fill_probe_queues(context, runtime, node_id, fills, tuples=8,
+                      tuple_size=100):
+    """Push ``fills[i]`` data activations into node's i-th probe queue."""
+    from repro.engine.activation import DataActivation
+
+    queue_set = context.nodes[node_id].queue_sets[runtime.op_id]
+    for queue_index, count in enumerate(fills[:len(queue_set.queues)]):
+        for _ in range(count):
+            queue_set.push(
+                queue_index,
+                DataActivation(op_id=runtime.op_id,
+                               group=(node_id, queue_index),
+                               tuples=tuples, tuple_size=tuple_size),
+                force=True,
+            )
+    return queue_set
+
+
+class TestStealProtocolConditions:
+    """The provider's best-candidate selection honours all five conditions.
+
+    (i) the requester can store the shipment, (ii) enough work to
+    amortize, (iii) at most the steal fraction, (iv) probe activations
+    only, (v) unblocked operators only — plus home membership.
+    """
+
+    @given(
+        fills=st.lists(st.integers(min_value=0, max_value=40),
+                       min_size=2, max_size=2),
+        free_memory=st.sampled_from([0, 100, 1_000, 100_000, 10_000_000]),
+        min_steal=st.integers(min_value=1, max_value=8),
+        fraction=st.sampled_from([0.25, 0.5, 1.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_candidate_satisfies_all_conditions(
+            self, fills, free_memory, min_steal, fraction):
+        context, runtime = make_steal_context(
+            params=ExecutionParams(min_steal_activations=min_steal,
+                                   steal_fraction=fraction)
+        )
+        queue_set = fill_probe_queues(context, runtime, 1, fills)
+        provider = context.nodes[1].scheduler
+        candidate = provider._best_candidate(
+            requester=0, scope=None, free_memory=free_memory,
+            cached=frozenset(),
+        )
+        eligible = {}
+        for index, queue in enumerate(queue_set.queues):
+            if len(queue) < min_steal:
+                continue  # condition (ii) must exclude it
+            steal_count = max(1, int(len(queue) * fraction))
+            activation_bytes = int(
+                queue.bytes_queued / max(1, len(queue)) * steal_count
+            )
+            if activation_bytes > free_memory:
+                continue  # condition (i) must exclude it
+            eligible[index] = steal_count
+        if candidate is None:
+            assert not eligible
+            return
+        # Condition (iv): probes only; (v): unblocked; home membership.
+        offered = context.ops[candidate.op_id]
+        assert offered.kind.name == "PROBE"
+        assert not offered.blocked and not offered.terminated
+        assert 0 in offered.home
+        # Condition (ii) + (iii): count within [min, fraction * queue].
+        queue = queue_set.queues[candidate.queue_index]
+        assert len(queue) >= min_steal
+        assert candidate.steal_count == eligible[candidate.queue_index]
+        assert candidate.steal_count <= max(1, int(len(queue) * fraction))
+        # Condition (i): the shipment fits the requester's free memory.
+        assert candidate.overhead <= free_memory
+
+    def test_blocked_probe_is_never_offered(self):
+        context, runtime = make_steal_context()
+        fill_probe_queues(context, runtime, 1, [10, 10])
+        runtime.blocked = True
+        candidate = context.nodes[1].scheduler._best_candidate(
+            requester=0, scope=None, free_memory=10_000_000,
+            cached=frozenset(),
+        )
+        assert candidate is None
+
+    def test_trigger_activations_are_never_offered(self):
+        # Scans hold only trigger activations; condition (iv) excludes
+        # them (triggers need local disks).
+        context, _ = make_steal_context()
+        context.seed_triggers()
+        scan_ids = {op.op_id for op in context.plan.operators.scans()}
+        for node in context.nodes:
+            candidate = node.scheduler._best_candidate(
+                requester=1 - node.node_id, scope=None,
+                free_memory=10_000_000, cached=frozenset(),
+            )
+            assert candidate is None or candidate.op_id not in scan_ids
+
+    def test_scope_restricts_the_offer(self):
+        context, runtime = make_steal_context()
+        fill_probe_queues(context, runtime, 1, [10, 10])
+        provider = context.nodes[1].scheduler
+        other_scope = runtime.op_id + 999
+        assert provider._best_candidate(
+            requester=0, scope=other_scope, free_memory=10_000_000,
+            cached=frozenset(),
+        ) is None
+        scoped = provider._best_candidate(
+            requester=0, scope=runtime.op_id, free_memory=10_000_000,
+            cached=frozenset(),
+        )
+        assert scoped is not None and scoped.op_id == runtime.op_id
+
+    def test_non_home_requester_gets_no_offer(self):
+        context, runtime = make_steal_context()
+        fill_probe_queues(context, runtime, 1, [10, 10])
+        # Shrink the probe's home to the provider only.
+        runtime.home = (1,)
+        candidate = context.nodes[1].scheduler._best_candidate(
+            requester=0, scope=None, free_memory=10_000_000,
+            cached=frozenset(),
+        )
+        assert candidate is None
+
+
+class TestStealConservation:
+    @given(
+        count=st.integers(min_value=0, max_value=50),
+        steal=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_steal_moves_without_duplication(self, count, steal):
+        context, runtime = make_steal_context()
+        queue_set = fill_probe_queues(context, runtime, 1, [count, 0])
+        queue = queue_set.queues[0]
+        before = list(queue)
+        stolen = queue_set.steal_from(0, steal)
+        remaining = list(queue)
+        # Conservation: stolen + remaining is exactly the original set,
+        # in order, with no activation duplicated or lost.
+        assert len(stolen) == min(steal, count)
+        assert remaining + stolen == before
+        assert queue.total_popped == len(stolen)

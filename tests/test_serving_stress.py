@@ -1,0 +1,118 @@
+"""Stress tier: many concurrent queries on the hierarchical 4x8 machine.
+
+The heavy runs are marked ``slow`` and excluded from tier-1 (see
+``pytest.ini``); run them with ``pytest -m slow`` or ``make check-full``.
+A small smoke variant stays in tier-1 so the multi-query path is always
+exercised.
+"""
+
+import pytest
+
+from repro.catalog import SkewSpec
+from repro.engine import ExecutionParams
+from repro.serving import AdmissionPolicy, ArrivalSpec, WorkloadDriver, WorkloadSpec
+from repro.workloads import pipeline_chain_scenario
+
+
+def stress_spec(queries, arrival, mpl, seed=1):
+    return WorkloadSpec(
+        queries=queries,
+        arrival=arrival,
+        strategy="DP",
+        policy=AdmissionPolicy(max_multiprogramming=mpl),
+        seed=seed,
+    )
+
+
+def assert_workload_sane(plan, metrics, queries):
+    assert metrics.completed == queries
+    assert metrics.unfinished == 0
+    expected_scan = sum(r.cardinality for r in plan.graph.relations.values())
+    for completion in metrics.completions:
+        m = completion.result.metrics
+        assert m.tuples_scanned == expected_scan
+        assert m.activations_processed == (
+            m.trigger_activations + m.data_activations
+        )
+
+
+@pytest.mark.slow
+class TestServingStress4x8:
+    """50+ concurrent queries on the paper's 4x8 hierarchical machine."""
+
+    def test_closed_loop_50_queries_complete(self):
+        plan, config = pipeline_chain_scenario(
+            nodes=4, processors_per_node=8, base_tuples=4000,
+        )
+        params = ExecutionParams(
+            skew=SkewSpec.uniform_redistribution(0.8), seed=1
+        )
+        spec = stress_spec(
+            50, ArrivalSpec(kind="closed", population=12), mpl=12
+        )
+        driver = WorkloadDriver(plan, config, spec, params)
+        coordinator = driver.build_coordinator()
+        metrics = coordinator.run()
+        assert_workload_sane(plan, metrics, 50)
+        assert coordinator.peak_running <= 12
+        # Concurrency was real: queries overlapped on the machine.
+        assert coordinator.peak_running >= 8
+        assert metrics.total_cpu_contention() > 0.0
+
+    def test_open_loop_underload_keeps_queueing_bounded(self):
+        # Offered load ~60% of the measured closed-loop capacity
+        # (~8 q/s at MPL 12): admission queues must stay shallow, so
+        # queueing delay is bounded by the execution time scale instead
+        # of growing with the run length.
+        plan, config = pipeline_chain_scenario(
+            nodes=4, processors_per_node=8, base_tuples=4000,
+        )
+        params = ExecutionParams(
+            skew=SkewSpec.uniform_redistribution(0.8), seed=2
+        )
+        spec = stress_spec(
+            50, ArrivalSpec(kind="poisson", rate=5.0), mpl=12, seed=2
+        )
+        metrics = WorkloadDriver(plan, config, spec, params).run().metrics
+        assert_workload_sane(plan, metrics, 50)
+        mean_exec = metrics.mean_execution_time()
+        assert metrics.mean_queueing_delay() <= 2.0 * mean_exec
+        assert metrics.max_queueing_delay() <= metrics.makespan / 2.0
+        assert metrics.p99_latency <= 10.0 * mean_exec
+
+    def test_bursty_arrivals_drain(self):
+        plan, config = pipeline_chain_scenario(
+            nodes=4, processors_per_node=8, base_tuples=4000,
+        )
+        spec = stress_spec(
+            50, ArrivalSpec(kind="bursty", rate=6.0, burst_size=8,
+                            burst_speedup=20.0),
+            mpl=12, seed=3,
+        )
+        metrics = WorkloadDriver(plan, config, spec).run().metrics
+        assert_workload_sane(plan, metrics, 50)
+        # Bursts must actually produce admission queueing...
+        assert metrics.max_queueing_delay() > 0.0
+        # ...which the lulls drain: delays stay bounded by the makespan.
+        assert metrics.max_queueing_delay() <= metrics.makespan / 2.0
+
+
+class TestServingStressSmoke:
+    """Tier-1-sized version of the stress shape (always runs)."""
+
+    def test_smoke_12_queries_2x2(self):
+        plan, config = pipeline_chain_scenario(
+            nodes=2, processors_per_node=2, base_tuples=800,
+        )
+        params = ExecutionParams(
+            skew=SkewSpec.uniform_redistribution(0.8), seed=4
+        )
+        spec = stress_spec(
+            12, ArrivalSpec(kind="bursty", rate=60.0, burst_size=6), mpl=4,
+            seed=4,
+        )
+        driver = WorkloadDriver(plan, config, spec, params)
+        coordinator = driver.build_coordinator()
+        metrics = coordinator.run()
+        assert_workload_sane(plan, metrics, 12)
+        assert coordinator.peak_running <= 4
