@@ -1,16 +1,18 @@
 # Developer/CI entry points.
 #
-#   make check       tier-1: fast tests + property suites, fixed hypothesis
-#                    profile (what CI runs on every push)
-#   make check-slow  the slow stress tier (50+ concurrent queries)
-#   make check-full  everything: tier-1, slow tier, benchmark smoke
-#   make bench-smoke one pass of the workload benchmark (prints the sweep)
-#   make experiments regenerate EXPERIMENTS.md (quick settings)
+#   make check        tier-1: fast tests + property suites, fixed hypothesis
+#                     profile (what CI runs on every push)
+#   make check-slow   the slow stress tier (50+ concurrent queries,
+#                     cross-query stealing at scale; also the nightly job)
+#   make check-full   everything: tier-1, slow tier, benchmark smoke
+#   make bench-smoke  one pass of the workload + kernel benchmarks
+#   make bench-kernel kernel events/sec only (writes BENCH_kernel.json)
+#   make experiments  regenerate EXPERIMENTS.md (quick settings)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check check-slow check-full bench-smoke experiments
+.PHONY: check check-slow check-full bench-smoke bench-kernel experiments
 
 check:
 	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q
@@ -21,7 +23,10 @@ check-slow:
 check-full: check check-slow bench-smoke
 
 bench-smoke:
-	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_workload.py
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_workload.py bench_kernel.py
+
+bench-kernel:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_kernel.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --quick

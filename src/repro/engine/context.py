@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Optional
 from ..catalog.skew import proportional_split, zipf_weights
 from ..optimizer.operator_tree import OpKind
 from ..optimizer.plan import ParallelExecutionPlan
-from ..sim.core import Environment, Event
+from ..sim.core import Environment, Event, make_discipline
 from ..sim.disk import Disk
 from ..sim.machine import (Machine, MachineConfig, SMNode, make_disks,
                            make_processors)
@@ -181,16 +181,26 @@ class ExecutionContext:
 
     def __init__(self, plan: ParallelExecutionPlan, config: MachineConfig,
                  params: Optional[ExecutionParams] = None,
-                 substrate=None, query_id: int = 0):
+                 substrate=None, query_id: int = 0,
+                 service_class=None):
         self.plan = plan
         self.config = config
         self.params = params or ExecutionParams()
         self.substrate = substrate
         self.query_id = query_id
+        #: the serving layer's service class (weight/priority/SLO); None
+        #: for the paper's single-query mode.
+        self.service_class = service_class
+        #: scheduling attributes every CPU charge of this query carries;
+        #: None charges as the default tag (FIFO ignores tags entirely).
+        self.charge_tag = (service_class.charge_tag(query_id)
+                          if service_class is not None else None)
         if substrate is None:
             self.env = Environment()
             self.machine = Machine(config)
-            self.processors = make_processors(self.env, config)
+            self.processors = make_processors(
+                self.env, config, make_discipline(self.params.cpu_discipline)
+            )
         else:
             self.env = substrate.env
             self.machine = substrate.machine

@@ -66,7 +66,8 @@ class QueryExecutor:
 
         return self.collect(context)
 
-    def launch(self, substrate=None, query_id: int = 0) -> ExecutionContext:
+    def launch(self, substrate=None, query_id: int = 0,
+               service_class=None) -> ExecutionContext:
         """Build and start an execution, without running the simulation.
 
         Creates the context (optionally on a shared ``substrate`` so
@@ -74,8 +75,10 @@ class QueryExecutor:
         :mod:`repro.serving`), wires the per-node schedulers, creates one
         thread per processor (Section 3.1: one thread per processor *per
         query*), seeds the trigger activations and starts the threads.
-        The caller decides when the environment runs; completion is
-        observable on ``context.finished``.
+        ``service_class`` tags the query's CPU charges with its
+        weight/priority for non-FIFO scheduling disciplines.  The caller
+        decides when the environment runs; completion is observable on
+        ``context.finished``.
         """
         if self.strategy_name == "SP":
             raise StrategyError(
@@ -87,7 +90,8 @@ class QueryExecutor:
             strategy = make_strategy(self.strategy_name)
 
         context = ExecutionContext(self.plan, self.config, self.params,
-                                   substrate=substrate, query_id=query_id)
+                                   substrate=substrate, query_id=query_id,
+                                   service_class=service_class)
         context.strategy = strategy
 
         # Per-node schedulers (message handling, LB, end detection).

@@ -32,6 +32,7 @@ __all__ = [
     "ExecutionMetrics",
     "ExecutionResult",
     "QueryCompletion",
+    "ShedRecord",
     "WorkloadMetrics",
     "percentile",
 ]
@@ -81,6 +82,10 @@ class ExecutionMetrics:
     activations_stolen: int = 0
     hash_bytes_shipped: int = 0
     cache_hits: int = 0
+    #: steal rounds initiated by the cross-query broker on this query's
+    #: behalf (a co-resident query's node starved, and this query's
+    #: backlog was invited to move there); included in ``steal_rounds``.
+    cross_steal_rounds: int = 0
 
     # --- memory -------------------------------------------------------------------------
     memory_high_watermark: int = 0
@@ -174,6 +179,18 @@ class QueryCompletion:
     start_time: float
     completion_time: float
     result: ExecutionResult
+    #: service class the query ran under ("default" outside the
+    #: class-aware serving paths).
+    service_class: str = "default"
+    #: the class's end-to-end latency SLO, if it declared one.
+    latency_slo: Optional[float] = None
+
+    @property
+    def slo_met(self) -> Optional[bool]:
+        """Whether the end-to-end latency met the class SLO (None: no SLO)."""
+        if self.latency_slo is None:
+            return None
+        return self.latency <= self.latency_slo
 
     @property
     def queueing_delay(self) -> float:
@@ -201,6 +218,27 @@ class QueryCompletion:
         return self.result.metrics.loadbalance_messages
 
 
+@dataclass(frozen=True)
+class ShedRecord:
+    """One query rejected by overload handling before it ever started.
+
+    ``reason`` is ``"queue_timeout"`` (waited longer than its class's
+    admission queue timeout) or ``"deadline"`` (its latency SLO expired
+    while it was still queued, so completing it could no longer help).
+    """
+
+    query_id: int
+    service_class: str
+    arrival_time: float
+    shed_time: float
+    reason: str
+
+    @property
+    def queued_for(self) -> float:
+        """How long the query waited before being shed."""
+        return self.shed_time - self.arrival_time
+
+
 @dataclass
 class WorkloadMetrics:
     """Aggregate observables of one multi-query workload run.
@@ -214,11 +252,15 @@ class WorkloadMetrics:
     """
 
     completions: list[QueryCompletion] = field(default_factory=list)
+    #: queries rejected by overload handling (queue timeout / deadline).
+    shed: list[ShedRecord] = field(default_factory=list)
     #: queries generated but never admitted (still queued at the end of a
     #: bounded run); non-zero only when a run is stopped early.
     unfinished: int = 0
     first_arrival_time: float = 0.0
     last_completion_time: float = 0.0
+    #: times the cross-query broker saw an actionable machine imbalance.
+    broker_notifications: int = 0
 
     def record(self, completion: QueryCompletion) -> None:
         if not self.completions:
@@ -282,10 +324,85 @@ class WorkloadMetrics:
             return 0.0
         return sum(c.execution_time for c in self.completions) / len(self.completions)
 
+    def record_shed(self, record: ShedRecord) -> None:
+        self.shed.append(record)
+
+    @property
+    def shed_count(self) -> int:
+        return len(self.shed)
+
+    # -- per-service-class views -----------------------------------------------
+
+    def class_names(self) -> list[str]:
+        """Service classes seen in this run (completed or shed), sorted."""
+        names = {c.service_class for c in self.completions}
+        names.update(s.service_class for s in self.shed)
+        return sorted(names)
+
+    def completions_of(self, service_class: str) -> list[QueryCompletion]:
+        return [c for c in self.completions if c.service_class == service_class]
+
+    def shed_of(self, service_class: str) -> list[ShedRecord]:
+        return [s for s in self.shed if s.service_class == service_class]
+
+    def class_throughput(self, service_class: str) -> float:
+        """Completed queries of the class per virtual second of makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.completions_of(service_class)) / self.makespan
+
+    def class_latency_percentile(self, service_class: str, p: float) -> float:
+        return percentile(
+            [c.latency for c in self.completions_of(service_class)], p
+        )
+
+    def class_mean_queueing_delay(self, service_class: str) -> float:
+        completions = self.completions_of(service_class)
+        if not completions:
+            return 0.0
+        return sum(c.queueing_delay for c in completions) / len(completions)
+
+    def slo_attainment(self, service_class: str) -> float:
+        """Fraction of the class's queries that met their latency SLO.
+
+        Shed queries count as misses (the client saw neither a result nor
+        its deadline); completions without a declared SLO count as met —
+        so a class with no SLO reports the fraction of its queries that
+        were served at all.
+        """
+        completions = self.completions_of(service_class)
+        shed = self.shed_of(service_class)
+        total = len(completions) + len(shed)
+        if total == 0:
+            return 1.0
+        met = sum(1 for c in completions if c.slo_met is not False)
+        return met / total
+
+    def per_class_summary(self) -> dict:
+        """class name -> plain-data digest (deterministic per seed)."""
+        return {
+            name: {
+                "completed": len(self.completions_of(name)),
+                "shed": len(self.shed_of(name)),
+                "throughput": self.class_throughput(name),
+                "p50_latency": self.class_latency_percentile(name, 50.0),
+                "p95_latency": self.class_latency_percentile(name, 95.0),
+                "mean_queueing_delay": self.class_mean_queueing_delay(name),
+                "slo_attainment": self.slo_attainment(name),
+            }
+            for name in self.class_names()
+        }
+
     # -- steal traffic -------------------------------------------------------
 
     def total_steal_bytes(self) -> int:
         return sum(c.steal_bytes for c in self.completions)
+
+    def total_cross_steal_rounds(self) -> int:
+        """Broker-initiated steal rounds summed over all completions."""
+        return sum(
+            c.result.metrics.cross_steal_rounds for c in self.completions
+        )
 
     def steal_bytes_per_query(self) -> dict[int, int]:
         """query_id -> load-balancing bytes shipped for that query."""
@@ -301,6 +418,11 @@ class WorkloadMetrics:
         return {
             "completed": self.completed,
             "unfinished": self.unfinished,
+            "shed": [
+                (s.query_id, s.service_class, s.arrival_time, s.shed_time,
+                 s.reason)
+                for s in sorted(self.shed, key=lambda s: s.query_id)
+            ],
             "makespan": self.makespan,
             "throughput": self.throughput(),
             "p50_latency": self.p50_latency,
@@ -311,9 +433,12 @@ class WorkloadMetrics:
             "mean_execution_time": self.mean_execution_time(),
             "total_steal_bytes": self.total_steal_bytes(),
             "total_cpu_contention": self.total_cpu_contention(),
+            "cross_steal_rounds": self.total_cross_steal_rounds(),
+            "broker_notifications": self.broker_notifications,
+            "per_class": self.per_class_summary(),
             "per_query": [
-                (c.query_id, c.plan_label, c.arrival_time, c.start_time,
-                 c.completion_time, c.steal_bytes,
+                (c.query_id, c.plan_label, c.service_class, c.arrival_time,
+                 c.start_time, c.completion_time, c.steal_bytes,
                  c.result.metrics.result_tuples,
                  c.result.metrics.activations_processed)
                 for c in sorted(self.completions, key=lambda c: c.query_id)

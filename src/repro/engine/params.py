@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from ..catalog.skew import SkewSpec
 from ..optimizer.cost import CostParams
+from ..sim.core import discipline_names
 from ..sim.disk import DiskParams
 from ..sim.network import NetworkParams
 
@@ -67,6 +68,21 @@ class ExecutionParams:
     #: node (keeps a starving node from flooding the network while the
     #: cluster drains a hot spot).
     steal_cooldown: float = 2e-3
+
+    # --- machine scheduling (the pluggable discipline layer) ----------------
+    #: how concurrent queries' CPU charges share a processor: ``"fifo"``
+    #: (the paper's model, bit-identical single-query behaviour),
+    #: ``"fair"`` (weighted fair sharing by service-class weight) or
+    #: ``"priority"`` (priority-preemptive by service-class priority).
+    cpu_discipline: str = "fifo"
+    #: cross-query machine-share stealing: a node starving under *any*
+    #: query may trigger the steal protocol of co-resident queries, so
+    #: their backlog moves onto the idle node (serving layer only; a
+    #: single-query run has no co-resident context to steal from).
+    cross_query_steal: bool = True
+    #: the broker only intervenes when the most loaded node queues more
+    #: than ``cross_steal_imbalance`` times the starving node's load.
+    cross_steal_imbalance: float = 2.0
 
     # --- local scheduling costs --------------------------------------------
     #: thread <-> local scheduler signalling (operating-system signals).
@@ -117,6 +133,16 @@ class ExecutionParams:
         if self.io_multiplex_window < 1:
             raise ValueError(
                 f"io_multiplex_window must be >= 1, got {self.io_multiplex_window}"
+            )
+        if self.cpu_discipline not in discipline_names():
+            raise ValueError(
+                f"unknown cpu_discipline {self.cpu_discipline!r}; known: "
+                f"{discipline_names()}"
+            )
+        if self.cross_steal_imbalance < 1.0:
+            raise ValueError(
+                f"cross_steal_imbalance must be >= 1, got "
+                f"{self.cross_steal_imbalance}"
             )
 
     def buckets_for_home(self, home_processors: int) -> int:

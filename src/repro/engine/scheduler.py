@@ -118,21 +118,67 @@ class NodeScheduler:
         starving, since any thread can run anything); FP steals per
         assigned probe operator (an idle processor only proves *its*
         operator is starving here).
+
+        Under a shared substrate the idle signal is additionally a
+        *machine-wide* fact — this physical node has CPU to spare — so it
+        is forwarded to the cross-query broker, which may trigger the
+        steal protocol of co-resident queries toward this node (see
+        :class:`repro.serving.coordinator.CrossQueryBroker`).
+        """
+        context = self.context
+        if context.done or context.config.nodes < 2:
+            return
+        if context.params.enable_global_lb:
+            self._maybe_start_rounds(
+                context.strategy.steal_scopes(context, thread)
+            )
+        substrate = context.substrate
+        if substrate is not None and substrate.broker is not None:
+            substrate.broker.on_node_starving(self.node.node_id, context)
+
+    def on_machine_starving(self) -> None:
+        """Cross-query broker hook: the physical node has idle CPU.
+
+        Starts steal rounds for *this* query from the starving node, so
+        its backlog elsewhere migrates onto the idle machine share.  The
+        rounds run the unmodified Section 4 protocol — the provider side
+        still audits the paper's five conditions, with condition (i)
+        evaluated against the shared node pool and the provider ranking
+        already machine-wide — only the trigger is new.
         """
         context = self.context
         if context.done or not context.params.enable_global_lb:
             return
         if context.config.nodes < 2:
             return
+        self._maybe_start_rounds(
+            context.strategy.cross_steal_scopes(context, self.node),
+            cross=True,
+        )
+
+    def _maybe_start_rounds(self, scopes, cross: bool = False) -> None:
+        """Start a steal round per scope, subject to cooldown/latch guards.
+
+        Broker-initiated (``cross``) rounds skip the failed-round latch:
+        the latch is cleared by *local* queue pushes only, so it cannot
+        see backlog growing on remote nodes — which is precisely the
+        machine-wide signal the broker is delivering.  The cooldown still
+        applies, bounding the protocol traffic either way.
+        """
+        context = self.context
         now = context.env.now
-        for scope in context.strategy.steal_scopes(context, thread):
-            if scope in self.rounds or scope in self.node.lb_blocked_scopes:
+        for scope in scopes:
+            if scope in self.rounds:
+                continue
+            if not cross and scope in self.node.lb_blocked_scopes:
                 continue
             last = self._last_round_at.get(scope)
             if last is not None and now - last < context.params.steal_cooldown:
                 continue
             self._last_round_at[scope] = now
             self._start_round(scope)
+            if cross:
+                context.metrics.cross_steal_rounds += 1
 
     def _start_round(self, scope: Optional[int]) -> None:
         context = self.context

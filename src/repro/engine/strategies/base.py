@@ -52,6 +52,19 @@ class ExecutionStrategy(ABC):
         restricts the round to that operator's queues.
         """
 
+    def cross_steal_scopes(self, context: "ExecutionContext",
+                           node) -> list[Optional[int]]:
+        """Steal scopes a broker-initiated (cross-query) round may use.
+
+        Unlike :meth:`steal_scopes` there is no idle thread of *this*
+        query — the starvation signal is machine-wide — so the scopes
+        must come from the node's state alone.  The default is one
+        node-scope round (correct for DP, where any thread can consume
+        whatever arrives); FP narrows this to its consumable probe
+        operators.
+        """
+        return [None]
+
     def on_op_unblocked(self, context: "ExecutionContext",
                         runtime: "OperatorRuntime") -> None:
         """Hook: an operator's scheduling predecessors all terminated."""

@@ -125,3 +125,20 @@ class FixedProcessing(ExecutionStrategy):
                     and not runtime.blocked):
                 scopes.append(op_id)
         return scopes
+
+    def cross_steal_scopes(self, context: "ExecutionContext",
+                           node) -> list[Optional[int]]:
+        """Broker-initiated rounds stay per-operator under FP.
+
+        Stolen activations land in the named operator's queues on this
+        node, which only its statically assigned threads may consume — so
+        the scopes are every live probe operator homed here, not the
+        node-scope ``None`` of DP.
+        """
+        scopes = []
+        for op_id in sorted(node.queue_sets):
+            runtime = context.ops[op_id]
+            if (runtime.kind is OpKind.PROBE and not runtime.terminated
+                    and not runtime.blocked):
+                scopes.append(op_id)
+        return scopes

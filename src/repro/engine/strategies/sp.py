@@ -75,20 +75,24 @@ class SynchronousPipeliningExecutor:
         return self.collect(start_time=0.0, end_time=env.now)
 
     def launch(self, env: Environment, disks: list[Disk],
-               processors, query_id: int = 0):
+               processors, query_id: int = 0, service_class=None):
         """Start the SP execution inside ``env``; return the driver process.
 
         ``disks`` and ``processors`` are node 0's shared hardware (SP is a
         single-SM-node model).  The returned driver is a
         :class:`~repro.sim.core.Process`, i.e. an event that fires at
         query completion — the serving layer's coordinator waits on it.
-        CPU charges go through the shared processors, so concurrent
-        queries' SP workers time-share them exactly like DP/FP threads.
+        CPU charges go through the shared processors — tagged with
+        ``service_class``'s weight/priority, so under a non-FIFO
+        discipline concurrent SP queries are scheduled exactly like
+        DP/FP threads of the same class.
         """
         params = self.params
         cost = params.cost
         k = self.config.processors_per_node
         tree = self.plan.operators
+        charge_tag = (service_class.charge_tag(query_id)
+                      if service_class is not None else None)
 
         from ...optimizer.scheduling import chain_total_order
         order = chain_total_order(tree)
@@ -107,7 +111,7 @@ class SynchronousPipeliningExecutor:
             seconds = instructions / cost.mips
             busy[thread_index] += seconds
             started = env.now
-            yield from processors[thread_index].use(seconds)
+            yield from processors[thread_index].use(seconds, charge_tag)
             waited = env.now - started - seconds
             if waited > 1e-12:
                 contention[0] += waited

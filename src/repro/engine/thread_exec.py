@@ -96,7 +96,7 @@ class ExecutionThread:
         self.busy_time += seconds
         self.context.metrics.thread_busy_time += seconds
         started = self.context.env.now
-        yield from self.processor.use(seconds)
+        yield from self.processor.use(seconds, self.context.charge_tag)
         waited = self.context.env.now - started - seconds
         if waited > 1e-12:
             self.contention_time += waited

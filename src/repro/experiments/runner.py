@@ -20,7 +20,8 @@ import time
 from dataclasses import replace
 from typing import Callable, Optional
 
-from . import figure6, figure7, figure8, figure9, figure10, section53, workload_sweep
+from . import (figure6, figure7, figure8, figure9, figure10, section53,
+               service_class_sweep, workload_sweep)
 from .config import DISK_TABLE, NETWORK_TABLE, ExperimentOptions
 from .reporting import format_table
 
@@ -84,6 +85,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
         lambda options: (
             (lambda r: (r.table(), workload_sweep.PAPER_EXPECTATION))(
                 workload_sweep.run(options)
+            )
+        ),
+    ),
+    "classes": (
+        "Service classes: CPU discipline x MPL (machine-scheduler layer)",
+        lambda options: (
+            (lambda r: (r.table(), service_class_sweep.PAPER_EXPECTATION))(
+                service_class_sweep.run(options)
             )
         ),
     ),

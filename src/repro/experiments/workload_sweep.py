@@ -7,6 +7,13 @@ multiprogramming level (MPL), the redistribution skew and the execution
 strategy, and reading back workload-level observables — throughput, p95
 latency, mean queueing delay, CPU contention and per-query steal traffic.
 
+Queries are drawn from the paper's own mixed plan population
+(:func:`repro.workloads.plans.build_workload`, the Section 5.1.2
+construction: 30–60-minute-band bushy plans), so concurrent queries have
+genuinely different shapes and sizes — not sixteen copies of the Section
+5.3 chain.  Pass ``plans=[...]`` to sweep an explicit population instead
+(``pipeline_chain_scenario`` reproduces the old behaviour).
+
 Expected shape: the paper's Section 5.3 single-query ordering (DP over FP
 under skew) survives multiprogramming.  DP's throughput meets or beats
 FP's at every MPL under skew, because FP's static misallocation wastes
@@ -24,7 +31,8 @@ from typing import Optional, Sequence
 
 from ..catalog.skew import SkewSpec
 from ..serving import AdmissionPolicy, ArrivalSpec, WorkloadDriver, WorkloadSpec
-from ..workloads.scenarios import pipeline_chain_scenario
+from ..sim.machine import MachineConfig
+from ..workloads.plans import build_workload
 from .config import ExperimentOptions, scaled_execution_params
 from .reporting import format_table
 
@@ -112,14 +120,22 @@ def run(options: Optional[ExperimentOptions] = None,
         skew_levels: Sequence[float] = SKEW_LEVELS,
         strategies: Sequence[str] = STRATEGIES,
         nodes: int = 4, processors_per_node: int = 8,
-        base_tuples: int = 4000,
-        queries_per_cell: int = 16) -> WorkloadSweepResult:
-    """Sweep MPL × skew × strategy on the Section 5.3 pipeline chain."""
+        queries_per_cell: int = 16,
+        plans=None) -> WorkloadSweepResult:
+    """Sweep MPL × skew × strategy over a mixed plan population.
+
+    ``plans`` defaults to the paper's Section 5.1.2 workload compiled for
+    the sweep's machine, limited to ``options.plans`` entries; each
+    submitted query draws its plan from the population, so every cell
+    mixes query shapes and sizes.
+    """
     options = options or ExperimentOptions()
-    plan, config = pipeline_chain_scenario(
-        nodes=nodes, processors_per_node=processors_per_node,
-        base_tuples=base_tuples,
-    )
+    config = MachineConfig(nodes=nodes,
+                           processors_per_node=processors_per_node)
+    if plans is None:
+        plans = build_workload(
+            config, options.workload_config()
+        ).plans[:options.plans]
     cells: list[SweepCell] = []
     for skew in skew_levels:
         params = scaled_execution_params(
@@ -137,7 +153,7 @@ def run(options: Optional[ExperimentOptions] = None,
                     policy=AdmissionPolicy(max_multiprogramming=mpl),
                     seed=options.seed,
                 )
-                result = WorkloadDriver(plan, config, spec, params).run()
+                result = WorkloadDriver(plans, config, spec, params).run()
                 metrics = result.metrics
                 cells.append(SweepCell(
                     strategy=strategy,
@@ -161,16 +177,15 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI
     )
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--procs", type=int, default=8)
-    parser.add_argument("--tuples", type=int, default=4000)
     parser.add_argument("--queries", type=int, default=16)
     parser.add_argument("--quick", action="store_true",
                         help="small grid for smoke runs")
     args = parser.parse_args(argv)
     options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
     kwargs = dict(nodes=args.nodes, processors_per_node=args.procs,
-                  base_tuples=args.tuples, queries_per_cell=args.queries)
+                  queries_per_cell=args.queries)
     if args.quick:
-        kwargs.update(nodes=2, processors_per_node=4, base_tuples=2000,
+        kwargs.update(nodes=2, processors_per_node=4,
                       queries_per_cell=8, mpl_levels=(1, 4),
                       skew_levels=(0.8,))
     result = run(options, **kwargs)

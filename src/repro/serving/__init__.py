@@ -9,10 +9,18 @@ adds the missing regime — multiprogramming — without forking the engine:
 * :class:`ArrivalSpec` — open-loop (Poisson, bursty) and closed-loop
   arrival processes (:mod:`repro.serving.arrivals`);
 * :class:`AdmissionController` — gates admissions on multiprogramming
-  level and live free node memory (:mod:`repro.serving.admission`);
+  level and live free node memory, plus per-class gates and open-loop
+  overload handling (queue timeouts, deadline shedding)
+  (:mod:`repro.serving.admission`);
+* :class:`ServiceClass` — per-population scheduling/admission contracts
+  (weight, priority, latency SLO) consumed by the pluggable CPU
+  scheduling disciplines (``fifo`` / ``fair`` / ``priority``, see
+  :mod:`repro.sim.core`) (:mod:`repro.serving.classes`);
 * :class:`MultiQueryCoordinator` — runs many ``ExecutionContext``s in one
   environment so threads contend for processors and the steal protocol
-  balances load under inter-query pressure
+  balances load under inter-query pressure; its
+  :class:`CrossQueryBroker` turns any query's idle-thread signal into
+  machine-share stealing by co-resident queries
   (:mod:`repro.serving.coordinator`);
 * :class:`WorkloadDriver` — seeded end-to-end workload runs returning
   :class:`~repro.engine.metrics.WorkloadMetrics`
@@ -32,7 +40,8 @@ Quickstart::
 
 from .admission import AdmissionController, AdmissionPolicy, estimated_node_demand
 from .arrivals import ArrivalSpec, sample_arrival_times
-from .coordinator import MultiQueryCoordinator, QueryRequest
+from .classes import BATCH, DEFAULT_CLASS, INTERACTIVE, ServiceClass
+from .coordinator import CrossQueryBroker, MultiQueryCoordinator, QueryRequest
 from .driver import WorkloadDriver, WorkloadRunResult, WorkloadSpec
 from .substrate import SharedSubstrate
 
@@ -42,6 +51,11 @@ __all__ = [
     "estimated_node_demand",
     "ArrivalSpec",
     "sample_arrival_times",
+    "BATCH",
+    "DEFAULT_CLASS",
+    "INTERACTIVE",
+    "ServiceClass",
+    "CrossQueryBroker",
     "MultiQueryCoordinator",
     "QueryRequest",
     "WorkloadDriver",

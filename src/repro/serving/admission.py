@@ -7,7 +7,8 @@ run concurrently and their hash tables compete for the same node pools
 admission controller restores the invariant for multi-query workloads by
 holding arrivals in a FIFO queue until the machine can take them.
 
-Two gates, both read from live shared state rather than static reservations:
+Two machine-wide gates, both read from live shared state rather than
+static reservations:
 
 * **multiprogramming level** — at most ``max_multiprogramming`` queries
   executing at once (the knob the workload experiments sweep);
@@ -17,6 +18,13 @@ Two gates, both read from live shared state rather than static reservations:
   steal protocol ships in its *starving* messages (condition (i): "the
   requester must be able to store the activations and corresponding
   data"), so admission and load balancing see one consistent picture.
+
+Service classes (:mod:`repro.serving.classes`) layer per-class gates on
+top: a class may cap its own multiprogramming level and tighten its
+memory headroom, and the policy's overload handling (``queue_timeout``,
+``deadline_shedding``) decides when a *queued* query is shed instead of
+admitted — the open-loop overload behaviour the ROADMAP asked for, where
+previously an overloaded stream just queued without bound.
 
 The estimate is deliberately the optimizer's, not the truth: admission
 decisions in real systems are made from cost-model cardinalities, and an
@@ -68,10 +76,19 @@ class AdmissionPolicy:
     ``memory_headroom`` is the fraction of a node's *free* memory a new
     query's estimated demand may claim (the rest absorbs estimate error,
     stolen hash-table copies and queue growth).
+
+    Overload handling (open-loop streams): ``queue_timeout`` sheds any
+    query still awaiting admission after that many virtual seconds (a
+    service class's own ``queue_timeout`` overrides it), and
+    ``deadline_shedding`` additionally sheds a queued query the moment
+    its class's latency SLO can no longer be met.  Both default off, so a
+    policy-less workload behaves exactly as before: it queues.
     """
 
     max_multiprogramming: int = 8
     memory_headroom: float = 0.8
+    queue_timeout: Optional[float] = None
+    deadline_shedding: bool = False
 
     def __post_init__(self) -> None:
         if self.max_multiprogramming < 1:
@@ -82,6 +99,10 @@ class AdmissionPolicy:
         if not 0.0 < self.memory_headroom <= 1.0:
             raise ValueError(
                 f"memory_headroom must be in (0, 1], got {self.memory_headroom}"
+            )
+        if self.queue_timeout is not None and self.queue_timeout <= 0:
+            raise ValueError(
+                f"queue_timeout must be positive, got {self.queue_timeout}"
             )
 
 
@@ -96,16 +117,25 @@ class AdmissionController:
         #: queries that waited on a closed gate at least once (counted
         #: per query by the coordinator, not per gate re-evaluation).
         self.deferrals = 0
+        #: queries shed by overload handling before starting.
+        self.shed = 0
+        self.admitted_by_class: Dict[str, int] = {}
+        self.deferrals_by_class: Dict[str, int] = {}
+        self.shed_by_class: Dict[str, int] = {}
 
     def can_admit(self, plan: ParallelExecutionPlan,
-                  live_queries: Optional[int] = None) -> bool:
+                  live_queries: Optional[int] = None,
+                  service_class=None,
+                  class_running: int = 0) -> bool:
         """Whether ``plan`` may start now, given live machine state.
 
         A pure predicate (no statistics side effects), safe to call from
         tests and diagnostics.  ``live_queries`` overrides the
         substrate's context count — the coordinator passes its own
         running count, which also covers SP executions (they have no
-        ``ExecutionContext`` to register).
+        ``ExecutionContext`` to register).  ``service_class`` adds the
+        class's own gates (its MPL cap against ``class_running``, its
+        memory-headroom override); None applies the global gates only.
         """
         substrate = self.substrate
         live = substrate.live_queries if live_queries is None else live_queries
@@ -115,15 +145,52 @@ class AdmissionController:
             # Progress guarantee: an empty machine always takes the head
             # query, even one whose estimate can never fit.
             return True
+        headroom = self.policy.memory_headroom
+        if service_class is not None:
+            cap = service_class.max_multiprogramming
+            if cap is not None and class_running >= cap:
+                return False
+            if service_class.memory_headroom is not None:
+                headroom = service_class.memory_headroom
         demand = estimated_node_demand(plan)
         for node_id, nbytes in demand.items():
             free = substrate.free_memory(node_id)
-            if nbytes > free * self.policy.memory_headroom:
+            if nbytes > free * headroom:
                 return False
         return True
 
-    def on_admitted(self) -> None:
-        self.admitted += 1
+    def shed_deadline(self, arrival_time: float, service_class) -> Optional[float]:
+        """Virtual instant at which a queued query must be shed (or None).
 
-    def on_deferred(self) -> None:
+        The earlier of the class/policy queue timeout and — when
+        ``deadline_shedding`` is on — the expiry of the class's latency
+        SLO.
+        """
+        deadlines = []
+        timeout = self.policy.queue_timeout
+        if service_class is not None and service_class.queue_timeout is not None:
+            timeout = service_class.queue_timeout
+        if timeout is not None:
+            deadlines.append(arrival_time + timeout)
+        if (self.policy.deadline_shedding and service_class is not None
+                and service_class.latency_slo is not None):
+            deadlines.append(arrival_time + service_class.latency_slo)
+        return min(deadlines) if deadlines else None
+
+    # -- statistics ---------------------------------------------------------
+
+    def _bump(self, counters: Dict[str, int], service_class) -> None:
+        name = service_class.name if service_class is not None else "default"
+        counters[name] = counters.get(name, 0) + 1
+
+    def on_admitted(self, service_class=None) -> None:
+        self.admitted += 1
+        self._bump(self.admitted_by_class, service_class)
+
+    def on_deferred(self, service_class=None) -> None:
         self.deferrals += 1
+        self._bump(self.deferrals_by_class, service_class)
+
+    def on_shed(self, service_class=None) -> None:
+        self.shed += 1
+        self._bump(self.shed_by_class, service_class)

@@ -1,0 +1,105 @@
+"""Service classes: per-workload scheduling and admission attributes.
+
+A :class:`ServiceClass` bundles everything the serving stack needs to
+treat one population of queries differently from another:
+
+* ``weight`` — the class's share under the ``"fair"`` CPU discipline
+  (:class:`~repro.sim.core.FairShareDiscipline`);
+* ``priority`` — its rank under the ``"priority"`` discipline
+  (:class:`~repro.sim.core.PriorityPreemptiveDiscipline`) *and* in the
+  admission queue, where a higher-priority class's head-of-line query may
+  be admitted ahead of queued lower-priority work;
+* ``latency_slo`` — the end-to-end (arrival → completion) latency target
+  used for SLO-attainment reporting and, with
+  ``AdmissionPolicy.deadline_shedding``, for dropping queries whose SLO
+  already expired in the queue;
+* ``max_multiprogramming`` / ``memory_headroom`` — per-class admission
+  gates layered on the global ones;
+* ``queue_timeout`` — open-loop overload handling: a query still queued
+  after this long is shed instead of serving a client that gave up long
+  ago.
+
+The classes are descriptive, not behavioural: the scheduling disciplines
+read the :class:`~repro.sim.core.ChargeTag` each query's charges carry,
+and the admission controller reads the gates — a ``ServiceClass`` is just
+the declaration both agree on.  Two conventional populations are
+predefined (``INTERACTIVE``, ``BATCH``); experiments typically
+``dataclasses.replace`` them with scenario-scaled SLOs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.core import ChargeTag
+
+__all__ = ["ServiceClass", "DEFAULT_CLASS", "INTERACTIVE", "BATCH"]
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One query population's scheduling/admission contract."""
+
+    name: str
+    #: fair-share weight (``"fair"`` CPU discipline); larger = more CPU.
+    weight: float = 1.0
+    #: scheduling and admission priority; larger preempts smaller under
+    #: the ``"priority"`` CPU discipline.
+    priority: int = 0
+    #: end-to-end latency SLO in virtual seconds (None: best effort).
+    latency_slo: Optional[float] = None
+    #: per-class cap on concurrently executing queries (None: only the
+    #: global admission cap applies).
+    max_multiprogramming: Optional[int] = None
+    #: per-class override of the admission memory headroom fraction.
+    memory_headroom: Optional[float] = None
+    #: shed a query still waiting for admission after this long (None:
+    #: fall back to the policy-wide timeout, if any).
+    queue_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service class needs a name")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.latency_slo is not None and self.latency_slo <= 0:
+            raise ValueError(
+                f"latency_slo must be positive, got {self.latency_slo}"
+            )
+        if (self.max_multiprogramming is not None
+                and self.max_multiprogramming < 1):
+            raise ValueError(
+                f"max_multiprogramming must be >= 1, got "
+                f"{self.max_multiprogramming}"
+            )
+        if self.memory_headroom is not None \
+                and not 0.0 < self.memory_headroom <= 1.0:
+            raise ValueError(
+                f"memory_headroom must be in (0, 1], got {self.memory_headroom}"
+            )
+        if self.queue_timeout is not None and self.queue_timeout <= 0:
+            raise ValueError(
+                f"queue_timeout must be positive, got {self.queue_timeout}"
+            )
+
+    def charge_tag(self, query_id: int) -> ChargeTag:
+        """The tag this class's queries stamp on every CPU charge.
+
+        The fair-share key is per *query*, not per class: each query gets
+        its own weighted share, so two queries of one class split the
+        class allocation instead of one starving the other.
+        """
+        return ChargeTag(key=f"{self.name}:q{query_id}",
+                         weight=self.weight, priority=self.priority)
+
+
+#: queries submitted without a class: weight 1, priority 0, no SLO — in a
+#: single-class workload every discipline degenerates to its baseline.
+DEFAULT_CLASS = ServiceClass("default")
+
+#: latency-sensitive foreground traffic.
+INTERACTIVE = ServiceClass("interactive", weight=4.0, priority=10)
+
+#: throughput-oriented background traffic.
+BATCH = ServiceClass("batch", weight=1.0, priority=0)

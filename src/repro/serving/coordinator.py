@@ -16,16 +16,33 @@ run per query, unchanged; what becomes *inter-query* is the contention —
 CPU, disk arms, memory — and the provider-ranking load signal of the
 steal protocol (see :meth:`ExecutionContext.node_load`).
 
-Lifecycle of a query: ``submit()`` (arrival) -> FIFO admission queue ->
+Lifecycle of a query: ``submit()`` (arrival) -> admission queue (FIFO
+within a service class, strict class priority across classes) ->
 :class:`~repro.serving.admission.AdmissionController` releases it
 (start) -> execution on the shared substrate -> root operator terminates
 (completion), recorded as a :class:`~repro.engine.metrics.QueryCompletion`
-with its queueing delay and execution time separated.
+with its queueing delay and execution time separated.  Under an
+overload policy a queued query may instead be *shed* (queue timeout or
+expired SLO deadline): its ``done`` event fires with ``None`` and the
+rejection is recorded as a :class:`~repro.engine.metrics.ShedRecord`.
 
 SP queries are coordinated too (single-node substrates only): the SP
 executor's driver process runs inside the shared environment and its
 workers charge the shared processors, so SP streams contend with
 activation-model queries — mixed-strategy workloads are legal.
+
+**Cross-query machine-share stealing** (:class:`CrossQueryBroker`): the
+paper's steal protocol only ever moves a query's *own* activations, and
+only when that query's thread starves.  Under multiprogramming the
+machine can be imbalanced even while every query's local threads still
+trickle along — the idle CPU belongs to *someone else*.  The broker
+closes that gap: every idle-thread signal is also a machine-wide "node n
+has CPU to spare" fact, and when the machine-wide load imbalance is
+large enough the broker triggers the Section 4 steal protocol of every
+co-resident query *from* the starving node, moving their backlog onto
+the idle share.  The stolen activations still travel inside their own
+query's context, through the unmodified five-condition audit — only the
+initiation is cross-query.
 """
 
 from __future__ import annotations
@@ -36,7 +53,7 @@ from typing import Optional
 
 from ..engine.context import ExecutionContext, ExecutionDeadlock
 from ..engine.executor import QueryExecutor
-from ..engine.metrics import QueryCompletion, WorkloadMetrics
+from ..engine.metrics import QueryCompletion, ShedRecord, WorkloadMetrics
 from ..engine.params import ExecutionParams
 from ..engine.strategies.base import StrategyError
 from ..engine.strategies.sp import SynchronousPipeliningExecutor
@@ -44,29 +61,96 @@ from ..optimizer.plan import ParallelExecutionPlan
 from ..sim.core import Event
 from ..sim.machine import MachineConfig
 from .admission import AdmissionController, AdmissionPolicy
+from .classes import DEFAULT_CLASS, ServiceClass
 from .substrate import SharedSubstrate
 
-__all__ = ["QueryRequest", "MultiQueryCoordinator"]
+__all__ = ["QueryRequest", "MultiQueryCoordinator", "CrossQueryBroker"]
+
+
+class CrossQueryBroker:
+    """Mediates machine-share stealing between co-resident queries.
+
+    Receiver-initiated, in the taxonomy of the DLB surveys: the trigger
+    is spare capacity (an idle thread of *any* query on node ``n``), the
+    decision is machine-wide (the most loaded node must queue more than
+    ``cross_steal_imbalance`` times node ``n``'s load, and at least
+    ``min_steal_activations`` so a round can amortize), and the action is
+    delegated to each co-resident query's own
+    :meth:`~repro.engine.scheduler.NodeScheduler.on_machine_starving` —
+    i.e. the paper's protocol with its cooldowns, blocked-scope latches
+    and five provider-side conditions fully intact.
+    """
+
+    def __init__(self, substrate: "SharedSubstrate"):
+        self.substrate = substrate
+        self.enabled = substrate.params.cross_query_steal
+        #: memoized machine-wide load snapshot, valid for one virtual
+        #: instant — idle signals cluster at the same timestamp (every
+        #: thread that drains parks in the same event cascade), and one
+        #: O(nodes x queries) queue walk per instant is plenty for a
+        #: heuristic trigger.
+        self._loads_at: float = -1.0
+        self._loads: list[int] = []
+        # --- statistics -------------------------------------------------
+        #: idle signals that found an actionable machine imbalance.
+        self.notifications = 0
+
+    def _load_snapshot(self) -> list[int]:
+        substrate = self.substrate
+        now = substrate.env.now
+        if now != self._loads_at:
+            self._loads_at = now
+            self._loads = [substrate.node_load(n)
+                           for n in range(substrate.config.nodes)]
+        return self._loads
+
+    def on_node_starving(self, node_id: int, context) -> None:
+        """An idle thread of ``context`` signalled spare CPU on ``node_id``."""
+        if not self.enabled:
+            return
+        substrate = self.substrate
+        others = [c for c in substrate.contexts
+                  if c is not context and not c.done]
+        if not others:
+            return
+        params = substrate.params
+        loads = self._load_snapshot()
+        local = loads[node_id]
+        peak = max(loads)
+        if peak < params.min_steal_activations:
+            return
+        if peak <= local * params.cross_steal_imbalance:
+            return
+        self.notifications += 1
+        for other in others:
+            scheduler = other.nodes[node_id].scheduler
+            if scheduler is not None:
+                scheduler.on_machine_starving()
 
 
 class QueryRequest:
     """One submitted query: identity, timestamps, completion event."""
 
-    __slots__ = ("query_id", "plan", "strategy", "params", "arrival_time",
-                 "start_time", "done", "completion", "context", "_sp",
-                 "deferred")
+    __slots__ = ("query_id", "plan", "strategy", "params", "service_class",
+                 "arrival_time", "seq", "start_time", "done", "completion",
+                 "context", "_sp", "deferred", "shed")
 
     def __init__(self, query_id: int, plan: ParallelExecutionPlan,
                  strategy: str, params: ExecutionParams,
-                 arrival_time: float, done: Event):
+                 service_class: ServiceClass,
+                 arrival_time: float, seq: int, done: Event):
         self.query_id = query_id
         self.plan = plan
         self.strategy = strategy
         self.params = params
+        #: scheduling/admission contract (weight, priority, SLO, gates).
+        self.service_class = service_class
         self.arrival_time = arrival_time
+        #: submission order, the FIFO tiebreak within a service class.
+        self.seq = seq
         self.start_time: Optional[float] = None
-        #: fires (with the QueryCompletion) when the query finishes —
-        #: closed-loop clients wait on it.
+        #: fires when the query finishes (with its QueryCompletion) or is
+        #: shed (with None) — closed-loop clients wait on it.
         self.done = done
         self.completion: Optional[QueryCompletion] = None
         self.context: Optional[ExecutionContext] = None
@@ -74,6 +158,8 @@ class QueryRequest:
         #: set once the query has waited on a closed admission gate
         #: (deferral is counted per query, not per re-evaluation).
         self.deferred = False
+        #: set when overload handling rejected the query before starting.
+        self.shed = False
 
 
 class MultiQueryCoordinator:
@@ -89,6 +175,10 @@ class MultiQueryCoordinator:
         self.env = self.substrate.env
         self.pending: deque[QueryRequest] = deque()
         self.running: dict[int, QueryRequest] = {}
+        #: live executing queries per service class (the per-class MPL gate).
+        self.running_by_class: dict[str, int] = {}
+        #: highest per-class concurrency observed, per class name.
+        self.peak_running_by_class: dict[str, int] = {}
         #: highest number of simultaneously executing queries observed —
         #: the admission tests assert it never exceeds the policy cap.
         self.peak_running = 0
@@ -96,7 +186,10 @@ class MultiQueryCoordinator:
         self._arrivals_open = True
         self._kick: Optional[Event] = None
         self._next_query_id = 0
+        self._next_seq = 0
         self._used_query_ids: set[int] = set()
+        #: virtual instant the armed shed timer targets (None: no timer).
+        self._shed_timer_at: Optional[float] = None
         # Mid-execution memory releases (probe ends freeing hash tables)
         # re-evaluate admission without waiting for a whole completion.
         self.substrate.on_memory_release = self._poke
@@ -109,7 +202,8 @@ class MultiQueryCoordinator:
     def submit(self, plan: ParallelExecutionPlan,
                strategy: Optional[str] = None,
                params: Optional[ExecutionParams] = None,
-               query_id: Optional[int] = None) -> QueryRequest:
+               query_id: Optional[int] = None,
+               service_class: Optional[ServiceClass] = None) -> QueryRequest:
         """Register an arriving query; it executes when admission allows."""
         if not self._arrivals_open:
             raise RuntimeError("arrivals are closed; cannot submit")
@@ -119,6 +213,16 @@ class MultiQueryCoordinator:
             raise StrategyError(
                 "SP queries need a single-SM-node substrate; this machine "
                 f"has {self.config.nodes} nodes"
+            )
+        if params is not None and \
+                params.cpu_discipline != self.params.cpu_discipline:
+            # The processors were built with the substrate's discipline;
+            # a per-query override would be silently ignored.
+            raise ValueError(
+                f"query cpu_discipline {params.cpu_discipline!r} differs "
+                f"from the substrate's {self.params.cpu_discipline!r}; the "
+                "scheduling discipline is machine-wide (set it on the "
+                "coordinator's params)"
             )
         if query_id is None:
             query_id = self._next_query_id
@@ -131,9 +235,12 @@ class MultiQueryCoordinator:
             plan=plan,
             strategy=(strategy or "DP").upper(),
             params=params or self.params,
+            service_class=service_class or DEFAULT_CLASS,
             arrival_time=self.env.now,
+            seq=self._next_seq,
             done=self.env.event(f"query-done:{query_id}"),
         )
+        self._next_seq += 1
         self.pending.append(request)
         self._poke()
         return request
@@ -151,23 +258,118 @@ class MultiQueryCoordinator:
             kick.succeed()
 
     def _admission_loop(self):
-        """FIFO admission: release head-of-line queries while gates allow."""
+        """Admit queries while gates allow; shed what overload policy says.
+
+        Admission order is FIFO *within* a service class and strict
+        priority *across* classes: only each class's head-of-line query
+        is considered (so intra-class order is preserved), highest
+        priority first.  A single-class workload therefore degenerates to
+        the original global FIFO with head-of-line blocking.
+        """
         while True:
-            while self.pending and self.admission.can_admit(
-                    self.pending[0].plan, live_queries=len(self.running)):
-                request = self.pending.popleft()
-                self.admission.on_admitted()
+            self._shed_expired()
+            while True:
+                request = self._next_admissible()
+                if request is None:
+                    break
+                self.pending.remove(request)
+                self.admission.on_admitted(request.service_class)
                 self._start(request)
-            if self.pending and not self.pending[0].deferred:
-                # Count the deferral once per query, not once per gate
-                # re-evaluation.
-                self.pending[0].deferred = True
-                self.admission.on_deferred()
             if (not self._arrivals_open and not self.pending
                     and not self.running):
                 return
+            self._arm_shed_timer()
             self._kick = self.env.event("admission-kick")
             yield self._kick
+
+    def _next_admissible(self) -> Optional[QueryRequest]:
+        """The best admissible head-of-line request, or None.
+
+        Also counts deferrals: each head that fails its gates is counted
+        once per query, not once per re-evaluation.
+        """
+        heads: dict[str, QueryRequest] = {}
+        for request in self.pending:
+            heads.setdefault(request.service_class.name, request)
+        order = sorted(
+            heads.values(),
+            key=lambda r: (-r.service_class.priority, r.seq),
+        )
+        for request in order:
+            cls = request.service_class
+            if self.admission.can_admit(
+                    request.plan, live_queries=len(self.running),
+                    service_class=cls,
+                    class_running=self.running_by_class.get(cls.name, 0)):
+                return request
+            if not request.deferred:
+                request.deferred = True
+                self.admission.on_deferred(cls)
+        return None
+
+    # -- overload handling (shedding) ----------------------------------------
+
+    def _shed_expired(self) -> None:
+        """Drop pending queries whose shed deadline has passed."""
+        if not self.pending:
+            return
+        now = self.env.now
+        kept: deque[QueryRequest] = deque()
+        for request in self.pending:
+            deadline = self.admission.shed_deadline(
+                request.arrival_time, request.service_class
+            )
+            if deadline is not None and now >= deadline - 1e-12:
+                cls = request.service_class
+                reason = "queue_timeout"
+                if (self.admission.policy.deadline_shedding
+                        and cls.latency_slo is not None
+                        and deadline == request.arrival_time + cls.latency_slo):
+                    reason = "deadline"
+                self._shed(request, reason)
+            else:
+                kept.append(request)
+        self.pending = kept
+
+    def _shed(self, request: QueryRequest, reason: str) -> None:
+        request.shed = True
+        self.admission.on_shed(request.service_class)
+        self.metrics.record_shed(ShedRecord(
+            query_id=request.query_id,
+            service_class=request.service_class.name,
+            arrival_time=request.arrival_time,
+            shed_time=self.env.now,
+            reason=reason,
+        ))
+        if not request.done.triggered:
+            request.done.succeed(None)
+
+    def _arm_shed_timer(self) -> None:
+        """Wake the admission loop at the earliest pending shed deadline.
+
+        Without this, a query could rot past its deadline until the next
+        completion happens to poke the loop; with it, shedding is exact.
+        """
+        deadlines = [
+            d for d in (
+                self.admission.shed_deadline(r.arrival_time, r.service_class)
+                for r in self.pending
+            ) if d is not None
+        ]
+        if not deadlines:
+            return
+        when = min(deadlines)
+        if self._shed_timer_at is not None and self._shed_timer_at <= when:
+            return
+        self._shed_timer_at = when
+
+        def timer(target=when):
+            yield self.env.timeout(max(0.0, target - self.env.now))
+            if self._shed_timer_at == target:
+                self._shed_timer_at = None
+            self._poke()
+
+        self.env.process(timer(), name="shed-timer")
 
     # -- query start / completion -------------------------------------------
 
@@ -175,6 +377,12 @@ class MultiQueryCoordinator:
         request.start_time = self.env.now
         self.running[request.query_id] = request
         self.peak_running = max(self.peak_running, len(self.running))
+        name = request.service_class.name
+        live = self.running_by_class.get(name, 0) + 1
+        self.running_by_class[name] = live
+        self.peak_running_by_class[name] = max(
+            self.peak_running_by_class.get(name, 0), live
+        )
         if request.strategy == "SP":
             sp = SynchronousPipeliningExecutor(
                 request.plan, self.config, request.params
@@ -183,6 +391,7 @@ class MultiQueryCoordinator:
             driver = sp.launch(
                 self.env, self.substrate.disks[0], self.substrate.processors[0],
                 query_id=request.query_id,
+                service_class=request.service_class,
             )
             driver.callbacks.append(
                 lambda _event, req=request: self._finish_sp(req)
@@ -193,7 +402,8 @@ class MultiQueryCoordinator:
                 params=request.params,
             )
             context = executor.launch(
-                substrate=self.substrate, query_id=request.query_id
+                substrate=self.substrate, query_id=request.query_id,
+                service_class=request.service_class,
             )
             request.context = context
             context.finished.callbacks.append(
@@ -230,10 +440,14 @@ class MultiQueryCoordinator:
             start_time=request.start_time,
             completion_time=self.env.now,
             result=result,
+            service_class=request.service_class.name,
+            latency_slo=request.service_class.latency_slo,
         )
         request.completion = completion
         self.metrics.record(completion)
         del self.running[request.query_id]
+        name = request.service_class.name
+        self.running_by_class[name] = self.running_by_class.get(name, 1) - 1
         if not request.done.triggered:
             request.done.succeed(completion)
         self._poke()
@@ -259,4 +473,5 @@ class MultiQueryCoordinator:
                 f"{len(self.running)} running"
             )
         self.metrics.unfinished = leftover
+        self.metrics.broker_notifications = self.substrate.broker.notifications
         return self.metrics

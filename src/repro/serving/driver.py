@@ -28,6 +28,7 @@ from ..sim.machine import MachineConfig
 from ..sim.rng import RandomStreams, derive_seed
 from .admission import AdmissionPolicy
 from .arrivals import ArrivalSpec, sample_arrival_times
+from .classes import ServiceClass
 from .coordinator import MultiQueryCoordinator
 
 __all__ = ["WorkloadSpec", "WorkloadRunResult", "WorkloadDriver"]
@@ -37,12 +38,17 @@ __all__ = ["WorkloadSpec", "WorkloadRunResult", "WorkloadDriver"]
 class WorkloadSpec:
     """Declarative description of one multi-query workload run."""
 
-    #: total queries to submit and complete.
+    #: total queries to submit and resolve (completed or shed).
     queries: int = 16
     arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
     #: execution strategy for every query ("DP", "FP" or "SP").
     strategy: str = "DP"
     policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    #: service-class mix as (class, proportion) pairs; each query draws
+    #: its class from this distribution (proportions are normalized).
+    #: Empty: every query runs as the default class, exactly the
+    #: pre-service-class behaviour.
+    classes: tuple[tuple[ServiceClass, float], ...] = ()
     #: master seed: plan choice, arrivals, think times and all per-query
     #: engine randomness derive from it.
     seed: int = 0
@@ -50,6 +56,8 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         if self.queries < 1:
             raise ValueError(f"queries must be >= 1, got {self.queries}")
+        if any(fraction <= 0 for _cls, fraction in self.classes):
+            raise ValueError("class proportions must be positive")
 
 
 @dataclass
@@ -109,6 +117,21 @@ class WorkloadDriver:
             seed=derive_seed(self.spec.seed, f"query:{index}"),
         )
 
+    def _class_for(self, index: int) -> Optional[ServiceClass]:
+        """Deterministic service-class draw for the ``index``-th query."""
+        classes = self.spec.classes
+        if not classes:
+            return None
+        total = sum(fraction for _cls, fraction in classes)
+        rng = self.streams.stream("class-choice")
+        point = rng.random() * total
+        acc = 0.0
+        for service_class, fraction in classes:
+            acc += fraction
+            if point < acc:
+                return service_class
+        return classes[-1][0]
+
     # -- arrival generators ---------------------------------------------------
 
     def _open_loop_arrivals(self, coordinator: MultiQueryCoordinator):
@@ -124,6 +147,7 @@ class WorkloadDriver:
             coordinator.submit(
                 self._plan_for(index), strategy=self.spec.strategy,
                 params=self._params_for(index), query_id=index,
+                service_class=self._class_for(index),
             )
         coordinator.close_arrivals()
 
@@ -138,6 +162,7 @@ class WorkloadDriver:
             request = coordinator.submit(
                 self._plan_for(index), strategy=self.spec.strategy,
                 params=self._params_for(index), query_id=index,
+                service_class=self._class_for(index),
             )
             yield request.done
             think = self.spec.arrival.think_time
@@ -172,13 +197,18 @@ class WorkloadDriver:
         return coordinator
 
     def run(self) -> WorkloadRunResult:
-        """Run the whole workload to completion."""
+        """Run the whole workload to completion.
+
+        Every submitted query must be *resolved* — completed, or shed by
+        the admission policy's overload handling; anything else is a bug.
+        """
         coordinator = self.build_coordinator()
         metrics = coordinator.run()
-        if metrics.completed != self.spec.queries:
+        if metrics.completed + metrics.shed_count != self.spec.queries:
             raise RuntimeError(
                 f"workload incomplete: {metrics.completed} of "
-                f"{self.spec.queries} queries finished"
+                f"{self.spec.queries} queries finished "
+                f"({metrics.shed_count} shed)"
             )
         return WorkloadRunResult(
             spec=self.spec,

@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..engine.params import ExecutionParams
-from ..sim.core import Environment
+from ..sim.core import Environment, make_discipline
 from ..sim.disk import Disk
 from ..sim.machine import (Machine, MachineConfig, Processor, make_disks,
                            make_processors)
@@ -53,7 +53,14 @@ class SharedSubstrate:
         self.params = params or ExecutionParams()
         self.env = Environment()
         self.machine = Machine(config)
-        self.processors: list[list[Processor]] = make_processors(self.env, config)
+        #: the CPU scheduling discipline every processor of this machine
+        #: runs (``params.cpu_discipline``): FIFO, fair share or
+        #: priority-preemptive — the serving layer's machine-scheduler
+        #: choice, uniform across the machine.
+        self.discipline = make_discipline(self.params.cpu_discipline)
+        self.processors: list[list[Processor]] = make_processors(
+            self.env, config, self.discipline
+        )
         self.disks: list[list[Disk]] = make_disks(
             self.env, self.params.disk, config
         )
@@ -65,6 +72,10 @@ class SharedSubstrate:
         #: (a probe's end freeing its join's hash tables) re-evaluate
         #: admission immediately instead of waiting for a completion.
         self.on_memory_release = None
+        #: cross-query machine-share broker (installed here so even bare
+        #: substrates run it; gated by ``params.cross_query_steal``).
+        from .coordinator import CrossQueryBroker  # late import (cycle)
+        self.broker = CrossQueryBroker(self)
 
     # -- context registry ---------------------------------------------------
 

@@ -6,13 +6,21 @@ the strategies, the experiments — runs unchanged in virtual time.
 """
 
 from .core import (
+    ChargeTag,
+    DEFAULT_TAG,
     Environment,
     Event,
+    FairShareDiscipline,
+    FIFODiscipline,
     Interrupt,
+    PriorityPreemptiveDiscipline,
     Process,
     Resource,
+    SchedulingDiscipline,
     SimulationError,
     Timeout,
+    discipline_names,
+    make_discipline,
 )
 from .disk import AsyncReadHandle, Disk, DiskParams
 from .machine import (KB, MB, PAGE_SIZE, Machine, MachineConfig,
@@ -22,13 +30,21 @@ from .network import Message, Network, NetworkParams
 from .rng import RandomStreams, derive_seed
 
 __all__ = [
+    "ChargeTag",
+    "DEFAULT_TAG",
     "Environment",
     "Event",
+    "FIFODiscipline",
+    "FairShareDiscipline",
     "Interrupt",
+    "PriorityPreemptiveDiscipline",
     "Process",
     "Resource",
+    "SchedulingDiscipline",
     "SimulationError",
     "Timeout",
+    "discipline_names",
+    "make_discipline",
     "AsyncReadHandle",
     "Disk",
     "DiskParams",

@@ -34,8 +34,20 @@ sequence) heap and multi-query runs stay exactly as deterministic as
 single-query runs.
 
 :class:`Resource` adds the one synchronization primitive the engine needs
-beyond events: a FIFO resource with a bounded number of slots, used to
-model processors shared by the threads of concurrent queries.
+beyond events: a resource with a bounded number of slots, used to model
+processors shared by the threads of concurrent queries.  *How* waiting
+charges are ordered — and whether a running charge can be preempted — is
+delegated to a pluggable :class:`SchedulingDiscipline`:
+
+* :class:`FIFODiscipline` (the default) serves charges strictly
+  first-come-first-served and is event-for-event identical to the
+  original FIFO resource, so single-query runs stay bit-reproducible;
+* :class:`FairShareDiscipline` implements self-clocked weighted fair
+  queueing at charge granularity (non-preemptive): each charge carries a
+  :class:`ChargeTag` whose ``weight`` sets its class's share;
+* :class:`PriorityPreemptiveDiscipline` serves strictly by ``priority``
+  and *preempts* a running lower-priority charge, re-queueing its
+  remaining service time (no charge is ever lost).
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -53,6 +66,14 @@ __all__ = [
     "Interrupt",
     "Resource",
     "SimulationError",
+    "ChargeTag",
+    "DEFAULT_TAG",
+    "SchedulingDiscipline",
+    "FIFODiscipline",
+    "FairShareDiscipline",
+    "PriorityPreemptiveDiscipline",
+    "make_discipline",
+    "discipline_names",
     "NORMAL",
     "HIGH",
     "LOW",
@@ -146,7 +167,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically ``delay`` time units in the future."""
+    """An event that fires automatically ``delay`` time units in the future.
+
+    The hottest allocation of the kernel (every charge, disk transfer and
+    cooperative yield makes one), so the constructor is inlined flat: no
+    ``super().__init__`` chain, and a constant name — the delay is visible
+    in :attr:`delay` and ``__repr__``.
+    """
 
     __slots__ = ("delay",)
 
@@ -154,11 +181,18 @@ class Timeout(Event):
                  priority: int = NORMAL):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env, name=f"timeout({delay})")
+        self.env = env
+        self.name = "timeout"
+        self.callbacks = []
+        self._ok = True
+        self._fired = False
         self.delay = delay
         self._triggered = True
         self._value = value
         env._schedule_at(env.now + delay, self, priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
 class Process(Event):
@@ -255,6 +289,8 @@ class Environment:
         print(env.now)
     """
 
+    __slots__ = ("_now", "_heap", "_counter", "_active")
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
@@ -293,13 +329,27 @@ class Environment:
 
         Returns the final virtual time.  A non-empty heap at ``until`` leaves
         the remaining events in place so the run can be resumed.
+
+        The unbounded path is the simulation's hottest loop (every event of
+        every query flows through it), so it binds the heap and ``heappop``
+        to locals and skips the ``until`` comparison entirely.
         """
-        while self._heap:
-            when, _prio, _seq, event = self._heap[0]
-            if until is not None and when > until:
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None:
+            while heap:
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                event._fired = True
+                callbacks, event.callbacks = event.callbacks, []
+                for callback in callbacks:
+                    callback(event)
+            return self._now
+        while heap:
+            if heap[0][0] > until:
                 self._now = until
-                return self._now
-            heapq.heappop(self._heap)
+                return until
+            when, _prio, _seq, event = pop(heap)
             self._now = when
             event._fired = True
             callbacks, event.callbacks = event.callbacks, []
@@ -362,14 +412,341 @@ class Environment:
         return gate
 
 
-class Resource:
-    """A FIFO resource with ``capacity`` slots.
+@dataclass(frozen=True)
+class ChargeTag:
+    """Scheduling attributes of one CPU charge.
 
-    Processes hold a slot for the duration of a :meth:`use` block (or an
-    explicit :meth:`acquire`/:meth:`release` pair).  Waiters are served
-    strictly first-come-first-served; a released slot is handed directly
-    to the oldest waiter, so later arrivals can never barge past it even
-    when they run at the same virtual timestamp.
+    ``key`` identifies the fair-share class (the serving layer uses one
+    key per query so concurrent queries split a processor by their
+    service-class ``weight``); ``priority`` orders charges under the
+    preemptive discipline (larger preempts smaller).  The tag carries no
+    behaviour — disciplines read it, FIFO ignores it.
+    """
+
+    key: str = "default"
+    weight: float = 1.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise SimulationError(f"charge weight must be positive: {self.weight}")
+
+
+#: the tag used when a caller charges a resource without one.
+DEFAULT_TAG = ChargeTag()
+
+
+class SchedulingDiscipline:
+    """How a :class:`Resource` orders (and possibly preempts) its charges.
+
+    A discipline instance is stateless and shareable; per-resource
+    scheduling state lives on the resource (``_waiters`` for FIFO, the
+    ``_sched`` slot for the others, installed by :meth:`attach`).
+    """
+
+    #: registry key ("fifo", "fair", "priority").
+    name: str = "?"
+
+    def attach(self, resource: "Resource") -> None:
+        """Install per-resource scheduling state (default: none)."""
+
+    def use(self, resource: "Resource", delay: float,
+            tag: ChargeTag) -> Generator:
+        """Hold one slot for ``delay`` virtual seconds; ``yield from`` this."""
+        raise NotImplementedError
+
+    def queued(self, resource: "Resource") -> int:
+        """Charges currently waiting for a slot."""
+        raise NotImplementedError
+
+
+class FIFODiscipline(SchedulingDiscipline):
+    """Strict first-come-first-served service (the paper's model).
+
+    Event-for-event identical to charging a plain timeout when the
+    resource is uncontended, and to the pre-discipline FIFO resource when
+    it is contended — the byte-identity of single-query figure outputs
+    rests on this discipline being the default.
+    """
+
+    name = "fifo"
+
+    def use(self, resource: "Resource", delay: float,
+            tag: ChargeTag) -> Generator:
+        if resource.users < resource.capacity and not resource._waiters:
+            resource.users += 1
+        else:
+            event = resource.env.event(f"acquire:{resource.name}")
+            resource._waiters.append(event)
+            resource.waits += 1
+            started = resource.env.now
+            yield event  # release() hands us the slot; ``users`` stays counted
+            resource.wait_time += resource.env.now - started
+        try:
+            yield resource.env.timeout(delay)
+            resource.busy_time += delay
+        finally:
+            resource.release()
+
+    def queued(self, resource: "Resource") -> int:
+        return len(resource._waiters)
+
+
+class _FairState:
+    """Per-resource state of :class:`FairShareDiscipline`."""
+
+    __slots__ = ("vtime", "finish", "active", "idle_at", "heap")
+
+    def __init__(self) -> None:
+        #: virtual time: the largest pass admitted to service.
+        self.vtime = 0.0
+        #: class key -> cumulative pass (finish tag of its latest charge).
+        self.finish: dict[str, float] = {}
+        #: class key -> outstanding charges (waiting + in service).
+        self.active: dict[str, int] = {}
+        #: class key -> virtual instant the class last went idle.
+        self.idle_at: dict[str, float] = {}
+        #: waiting charges as (pass, seq, grant event).
+        self.heap: list[tuple[float, int, Event]] = []
+
+
+class FairShareDiscipline(SchedulingDiscipline):
+    """Weighted fair sharing (stride scheduling) at charge granularity.
+
+    Every charge of class ``c`` advances the class's cumulative *pass* by
+    ``delay / weight_c``; a freed slot always goes to the waiting charge
+    with the smallest pass.  A class that stays busy — including the
+    engine's back-to-back charge pattern, where a thread's next charge
+    arrives at the same virtual instant its previous one completed —
+    keeps its cumulative pass, so over any saturated interval the classes
+    competing for the slot split it in proportion to their weights.  A
+    class that was genuinely idle (a virtual-time gap with no outstanding
+    charge) rejoins at the current virtual time instead, so sleeping
+    cannot bank an unbounded service credit.
+
+    Service is non-preemptive and starvation-free: a waiting charge's
+    pass is fixed, every later charge arrives with a strictly larger
+    pass for its own class, and passes advance with the service a class
+    receives — so the minimum-pass rule reaches every waiter.
+    """
+
+    name = "fair"
+
+    def attach(self, resource: "Resource") -> None:
+        resource._sched = _FairState()
+
+    def use(self, resource: "Resource", delay: float,
+            tag: ChargeTag) -> Generator:
+        env = resource.env
+        state: _FairState = resource._sched
+        key = tag.key
+        start = state.finish.get(key, 0.0)
+        if not state.active.get(key):
+            idle_since = state.idle_at.get(key)
+            if (idle_since is None or env.now > idle_since) \
+                    and start < state.vtime:
+                # New or genuinely idle class: rejoin at the virtual time.
+                start = state.vtime
+        state.active[key] = state.active.get(key, 0) + 1
+        finish = start + delay / tag.weight
+        state.finish[key] = finish
+        if resource.users < resource.capacity and not state.heap:
+            resource.users += 1
+            if finish > state.vtime:
+                state.vtime = finish
+        else:
+            event = env.event(f"acquire:{resource.name}")
+            heapq.heappush(state.heap, (finish, next(resource._seq), event))
+            resource.waits += 1
+            started = env.now
+            yield event
+            resource.wait_time += env.now - started
+        try:
+            yield env.timeout(delay)
+            resource.busy_time += delay
+        finally:
+            remaining = state.active.get(key, 1) - 1
+            state.active[key] = remaining
+            if remaining == 0:
+                state.idle_at[key] = env.now
+            # Defer the grant to a LOW-priority event at the *same*
+            # virtual instant: a thread whose next charge follows
+            # back-to-back (the engine's dominant pattern) gets to enqueue
+            # it first, so the freed slot goes to the smallest pass among
+            # all same-instant contenders, not just the already-parked
+            # ones.  ``users`` stays counted until the grant resolves.
+            grant = Event(env, f"grant:{resource.name}")
+            grant._triggered = True
+            env._schedule_at(env.now, grant, LOW)
+            grant.callbacks.append(lambda _ev, r=resource: self._grant(r))
+
+    def _grant(self, resource: "Resource") -> None:
+        state: _FairState = resource._sched
+        if state.heap:
+            # Hand the slot to the smallest pass; ``users`` is unchanged
+            # (ownership transfer, as in FIFO release).
+            finish, _seq, event = heapq.heappop(state.heap)
+            if finish > state.vtime:
+                state.vtime = finish
+            event.succeed()
+        else:
+            resource.users -= 1
+            if resource.users == 0:
+                # Fully idle: reset the virtual clock so a past busy
+                # period cannot penalize classes in the next one.
+                state.vtime = 0.0
+                state.finish.clear()
+                state.active.clear()
+                state.idle_at.clear()
+
+    def queued(self, resource: "Resource") -> int:
+        return len(resource._sched.heap)
+
+
+class _RunningCharge:
+    """One charge currently holding a slot under preemptive scheduling."""
+
+    __slots__ = ("priority", "seq", "preempt", "preempted")
+
+    def __init__(self, priority: int, seq: int, preempt: Event):
+        self.priority = priority
+        self.seq = seq
+        self.preempt = preempt
+        self.preempted = False
+
+
+class _PrioState:
+    """Per-resource state of :class:`PriorityPreemptiveDiscipline`."""
+
+    __slots__ = ("waiting", "running")
+
+    def __init__(self) -> None:
+        #: waiting charges as (-priority, seq, grant event).
+        self.waiting: list[tuple[int, int, Event]] = []
+        self.running: list[_RunningCharge] = []
+
+
+class PriorityPreemptiveDiscipline(SchedulingDiscipline):
+    """Strict priorities with preemption at any point of a charge.
+
+    A charge that finds every slot held by lower-priority work preempts
+    the lowest-priority (most recently started) running charge: the
+    victim's elapsed service is banked, its remaining service time is
+    re-queued with its original arrival sequence, and the slot transfers
+    immediately.  Waiters are granted highest-priority-first (FIFO within
+    a priority level), so a preempted charge resumes ahead of later
+    arrivals of its own level.  Conservation: however often a charge is
+    preempted, its banked service always sums to its demand — the loop
+    only exits once ``remaining`` hits zero.
+    """
+
+    name = "priority"
+
+    def attach(self, resource: "Resource") -> None:
+        resource._sched = _PrioState()
+
+    def use(self, resource: "Resource", delay: float,
+            tag: ChargeTag) -> Generator:
+        env = resource.env
+        state: _PrioState = resource._sched
+        seq = next(resource._seq)
+        remaining = delay
+        waited = False
+        while True:
+            # -- take a slot: free > preemptable > park ---------------------
+            if resource.users < resource.capacity:
+                resource.users += 1
+            else:
+                victim: Optional[_RunningCharge] = None
+                for entry in state.running:
+                    if entry.preempted or entry.priority >= tag.priority:
+                        continue
+                    if victim is None or (entry.priority, -entry.seq) < (
+                            victim.priority, -victim.seq):
+                        victim = entry
+                if victim is not None:
+                    victim.preempted = True
+                    resource.preemptions += 1
+                    if not victim.preempt.triggered:
+                        victim.preempt.succeed()
+                    # The victim's slot transfers to us: ``users`` unchanged.
+                else:
+                    event = env.event(f"acquire:{resource.name}")
+                    heapq.heappush(state.waiting, (-tag.priority, seq, event))
+                    if not waited:
+                        resource.waits += 1
+                        waited = True
+                    started = env.now
+                    yield event  # granted by a completion; ``users`` counted
+                    resource.wait_time += env.now - started
+            # -- serve until completion or preemption -----------------------
+            entry = _RunningCharge(tag.priority, seq,
+                                   env.event(f"preempt:{resource.name}"))
+            state.running.append(entry)
+            started = env.now
+            # On preemption the timeout cannot be cancelled (heap removal
+            # is O(n)); it expires later as a dead no-callback event.  One
+            # bounded heap entry per preemption, gone within the charge's
+            # own (microsecond-scale) duration.
+            finished = env.timeout(remaining)
+            yield env.any_of((finished, entry.preempt))
+            state.running.remove(entry)
+            if entry.preempted:
+                # The slot already belongs to the preemptor, so there is
+                # nothing to release — bank the service and re-queue (or
+                # exit, if the preemption landed exactly at completion).
+                served = env.now - started
+                resource.busy_time += served
+                remaining -= served
+                if remaining > 1e-15:
+                    continue
+                return
+            resource.busy_time += remaining
+            if state.waiting:
+                _negp, _wseq, event = heapq.heappop(state.waiting)
+                event.succeed()
+            else:
+                resource.users -= 1
+            return
+
+    def queued(self, resource: "Resource") -> int:
+        return len(resource._sched.waiting)
+
+
+#: shared stateless singletons, one per discipline.
+_DISCIPLINES: dict[str, SchedulingDiscipline] = {
+    cls.name: cls() for cls in (
+        FIFODiscipline, FairShareDiscipline, PriorityPreemptiveDiscipline,
+    )
+}
+
+
+def discipline_names() -> list[str]:
+    """Registered discipline names."""
+    return sorted(_DISCIPLINES)
+
+
+def make_discipline(name: str) -> SchedulingDiscipline:
+    """The shared discipline instance for (case-insensitive) ``name``."""
+    try:
+        return _DISCIPLINES[name.lower()]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduling discipline {name!r}; known: "
+            f"{discipline_names()}"
+        ) from None
+
+
+class Resource:
+    """A resource with ``capacity`` slots and a pluggable discipline.
+
+    Processes hold a slot for the duration of a :meth:`use` block.  The
+    order in which waiting charges are served — and whether a running
+    charge can be preempted — is the :class:`SchedulingDiscipline`'s
+    decision; the default :class:`FIFODiscipline` serves strictly
+    first-come-first-served, handing a released slot directly to the
+    oldest waiter so later arrivals can never barge past it even when
+    they run at the same virtual timestamp.
 
     The uncontended fast path schedules no extra events: ``yield from
     resource.use(d)`` with a free slot is event-for-event identical to
@@ -378,15 +755,21 @@ class Resource:
     plain timeout, while concurrent queries sharing the processor queue
     behind each other — the contention the serving layer measures.
 
-    Limitation: interrupting a process that is parked in :meth:`acquire`
-    leaks its queue slot; the engine never interrupts threads in these
+    :meth:`acquire`/:meth:`release` remain available for explicit FIFO
+    slot management; the fair and preemptive disciplines manage slots
+    inside :meth:`use` only.
+
+    Limitation: interrupting a process that is parked waiting for a slot
+    leaks its queue entry; the engine never interrupts threads in these
     paths.
     """
 
     __slots__ = ("env", "capacity", "name", "users", "_waiters",
-                 "busy_time", "wait_time", "waits")
+                 "discipline", "_sched", "_seq",
+                 "busy_time", "wait_time", "waits", "preemptions")
 
-    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "",
+                 discipline: Optional[SchedulingDiscipline] = None):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1: {capacity}")
         self.env = env
@@ -394,15 +777,21 @@ class Resource:
         self.name = name
         self.users = 0
         self._waiters: deque[Event] = deque()
+        self.discipline = discipline if discipline is not None \
+            else _DISCIPLINES["fifo"]
+        self._sched: Any = None
+        self._seq = itertools.count()
         # --- statistics -------------------------------------------------
         self.busy_time = 0.0
         self.wait_time = 0.0
         self.waits = 0
+        self.preemptions = 0
+        self.discipline.attach(self)
 
     @property
     def queued(self) -> int:
         """Processes currently waiting for a slot."""
-        return len(self._waiters)
+        return self.discipline.queued(self)
 
     @property
     def in_use(self) -> int:
@@ -410,7 +799,7 @@ class Resource:
         return self.users
 
     def acquire(self) -> Generator:
-        """Wait for (and take) a slot; ``yield from`` this generator."""
+        """Wait for (and take) a slot FIFO; ``yield from`` this generator."""
         if self.users < self.capacity and not self._waiters:
             self.users += 1
             return
@@ -422,7 +811,7 @@ class Resource:
         self.wait_time += self.env.now - started
 
     def release(self) -> None:
-        """Return a slot; hands it straight to the oldest waiter if any."""
+        """Return a slot; hands it straight to the oldest FIFO waiter."""
         if self.users < 1:
             raise SimulationError(f"resource {self.name!r} released too often")
         if self._waiters:
@@ -433,11 +822,11 @@ class Resource:
         else:
             self.users -= 1
 
-    def use(self, delay: float) -> Generator:
-        """Hold one slot for ``delay`` virtual seconds (FIFO queueing)."""
-        yield from self.acquire()
-        try:
-            yield self.env.timeout(delay)
-            self.busy_time += delay
-        finally:
-            self.release()
+    def use(self, delay: float, tag: Optional[ChargeTag] = None) -> Generator:
+        """Hold one slot for ``delay`` virtual seconds.
+
+        ``tag`` carries the charge's service-class attributes (weight,
+        priority); ``None`` means :data:`DEFAULT_TAG`.  FIFO ignores it.
+        """
+        return self.discipline.use(self, delay,
+                                   DEFAULT_TAG if tag is None else tag)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .core import Environment, Resource
+from .core import Environment, Resource, SchedulingDiscipline
 
 __all__ = [
     "MachineConfig",
@@ -154,12 +154,15 @@ class SMNode:
 class Processor(Resource):
     """One physical processor, shared by the threads of concurrent queries.
 
-    A capacity-1 FIFO :class:`~repro.sim.core.Resource`: every CPU charge
-    of an execution thread holds the processor for its duration, so
-    threads of different queries mapped to the same ``(node, index)``
-    time-share it at activation granularity — the paper's Section 3.1
-    model extended to multiprogramming (one thread per processor *per
-    query*, multiplexed by the node OS).
+    A capacity-1 :class:`~repro.sim.core.Resource`: every CPU charge of an
+    execution thread holds the processor for its duration, so threads of
+    different queries mapped to the same ``(node, index)`` time-share it
+    at charge granularity — the paper's Section 3.1 model extended to
+    multiprogramming (one thread per processor *per query*, multiplexed
+    by the node OS).  The service order among concurrent queries' charges
+    is the processor's :class:`~repro.sim.core.SchedulingDiscipline`:
+    FIFO by default, weighted fair sharing or priority preemption when
+    the serving layer runs service classes.
 
     With a single query there is exactly one thread per processor and the
     resource is never contended, so execution is event-for-event identical
@@ -168,17 +171,24 @@ class Processor(Resource):
 
     __slots__ = ("node_id", "index")
 
-    def __init__(self, env: Environment, node_id: int, index: int):
-        super().__init__(env, capacity=1, name=f"cpu:n{node_id}.{index}")
+    def __init__(self, env: Environment, node_id: int, index: int,
+                 discipline: SchedulingDiscipline | None = None):
+        super().__init__(env, capacity=1, name=f"cpu:n{node_id}.{index}",
+                         discipline=discipline)
         self.node_id = node_id
         self.index = index
 
 
-def make_processors(env: Environment, config: MachineConfig
+def make_processors(env: Environment, config: MachineConfig,
+                    discipline: SchedulingDiscipline | None = None
                     ) -> list[list[Processor]]:
-    """One :class:`Processor` per (node, index) of ``config``."""
+    """One :class:`Processor` per (node, index) of ``config``.
+
+    All processors of a machine share one ``discipline`` instance (the
+    disciplines are stateless; per-processor state lives on the resource).
+    """
     return [
-        [Processor(env, node_id, index)
+        [Processor(env, node_id, index, discipline)
          for index in range(config.processors_per_node)]
         for node_id in range(config.nodes)
     ]

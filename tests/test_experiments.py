@@ -146,6 +146,25 @@ class TestFigureModules:
         assert result.fp_bytes >= 0
         assert "5-operator chain" in result.table()
 
+    def test_service_class_sweep_miniature(self):
+        from repro.experiments import service_class_sweep
+
+        result = service_class_sweep.run(
+            TINY, mpl_levels=(8,), nodes=2, processors_per_node=2,
+            base_tuples=1000, queries_per_cell=12,
+        )
+        # The acceptance ordering: priority preemption improves the
+        # interactive class's p95 over FIFO at MPL 8, batch throughput
+        # stays within 20%.
+        fifo = result.cell("fifo", 8, "interactive")
+        prio = result.cell("priority", 8, "interactive")
+        assert prio.p95_latency < fifo.p95_latency
+        assert (result.cell("priority", 8, "batch").throughput
+                >= 0.8 * result.cell("fifo", 8, "batch").throughput)
+        # Overload handling actually shed something, somewhere.
+        assert any(c.shed > 0 for c in result.overload_cells)
+        assert "Service classes at MPL 8" in result.table()
+
 
 # ---------------------------------------------------------------------------
 # Runner
@@ -155,7 +174,7 @@ class TestRunner:
     def test_registry_covers_all_paper_artifacts(self):
         assert set(EXPERIMENTS) == {
             "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
-            "workload",
+            "workload", "classes",
         }
 
     def test_params_experiment_is_static(self, tmp_path):

@@ -6,11 +6,14 @@ A small smoke variant stays in tier-1 so the multi-query path is always
 exercised.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.catalog import SkewSpec
 from repro.engine import ExecutionParams
-from repro.serving import AdmissionPolicy, ArrivalSpec, WorkloadDriver, WorkloadSpec
+from repro.serving import (AdmissionPolicy, ArrivalSpec, BATCH, INTERACTIVE,
+                           WorkloadDriver, WorkloadSpec)
 from repro.workloads import pipeline_chain_scenario
 
 
@@ -95,6 +98,73 @@ class TestServingStress4x8:
         assert metrics.max_queueing_delay() > 0.0
         # ...which the lulls drain: delays stay bounded by the makespan.
         assert metrics.max_queueing_delay() <= metrics.makespan / 2.0
+
+    def test_cross_query_stealing_at_50_query_scale(self):
+        # The skewed stress scenario at scale: 50 queries of mixed sizes
+        # (a large skewed chain and a small one) on the paper's 4x8
+        # machine with the cross-query broker on vs off.  The broker must
+        # participate (rounds fire, activations move through the
+        # five-condition protocol), keep every conservation invariant,
+        # and not hurt the makespan.  Scaled parameters, so CPU — the
+        # resource the broker rebalances — actually matters.
+        from repro.experiments.config import scaled_execution_params
+
+        big, config = pipeline_chain_scenario(
+            nodes=4, processors_per_node=8, base_tuples=6000,
+        )
+        small, _ = pipeline_chain_scenario(
+            nodes=4, processors_per_node=8, base_tuples=800,
+        )
+        results = {}
+        for steal in (True, False):
+            params = scaled_execution_params(
+                skew=SkewSpec.uniform_redistribution(1.0), seed=6,
+                cross_query_steal=steal,
+            )
+            spec = stress_spec(
+                50, ArrivalSpec(kind="poisson", rate=60.0), mpl=12, seed=6,
+            )
+            metrics = WorkloadDriver(
+                [big, small], config, spec, params
+            ).run().metrics
+            assert metrics.completed == 50
+            for completion in metrics.completions:
+                m = completion.result.metrics
+                assert m.activations_processed == (
+                    m.trigger_activations + m.data_activations
+                )
+            results[steal] = metrics
+        assert results[True].total_cross_steal_rounds() > 0
+        assert results[False].total_cross_steal_rounds() == 0
+        assert results[True].broker_notifications > 0
+        assert results[True].makespan <= results[False].makespan * 1.02
+
+    def test_service_classes_under_stress(self):
+        # 50 mixed interactive/batch queries under priority preemption:
+        # every class gate holds, the run is conservative, and the
+        # interactive class's p95 stays clearly below batch's.
+        from repro.experiments.config import scaled_execution_params
+
+        plan, config = pipeline_chain_scenario(
+            nodes=4, processors_per_node=8, base_tuples=6000,
+        )
+        params = scaled_execution_params(
+            skew=SkewSpec.uniform_redistribution(0.8), seed=7,
+            cpu_discipline="priority",
+        )
+        interactive = dataclasses.replace(INTERACTIVE, latency_slo=60.0)
+        spec = WorkloadSpec(
+            queries=50,
+            arrival=ArrivalSpec(kind="closed", population=12),
+            policy=AdmissionPolicy(max_multiprogramming=12),
+            classes=((interactive, 1.0), (BATCH, 2.0)),
+            seed=7,
+        )
+        metrics = WorkloadDriver(plan, config, spec, params).run().metrics
+        assert_workload_sane(plan, metrics, 50)
+        assert set(metrics.class_names()) == {"interactive", "batch"}
+        assert (metrics.class_latency_percentile("interactive", 95.0)
+                < metrics.class_latency_percentile("batch", 95.0))
 
 
 class TestServingStressSmoke:

@@ -1,0 +1,197 @@
+"""Property tests for the scheduling-discipline invariants.
+
+The three guarantees the machine-scheduler layer rests on:
+
+* **FIFO is the seed**: with the default FIFO discipline, a tagged charge
+  stream produces the byte-identical event trace of the untagged one —
+  tags are inert, so single-query runs cannot drift from the seed
+  behaviour no matter what service classes exist above;
+* **fair share never starves**: under an arbitrary saturating charge
+  mix, every submitted charge completes, the resource is work-conserving,
+  and competing backlogged classes split the slot by their weights;
+* **preemption conserves**: however often the priority discipline
+  preempts a charge, no charge is lost, every charge's banked service
+  sums to its demand, and a higher-priority arrival is served as if the
+  lower-priority backlog did not exist.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import (ChargeTag, Environment, Resource,
+                            SimulationError, make_discipline)
+
+
+def run_charges(discipline, charges, capacity=1, trace_tags=False):
+    """Run ``charges`` = [(start_delay, duration, key, weight, priority)]
+    through one resource; return [(completion_time, index)] in completion
+    order plus the resource."""
+    env = Environment()
+    resource = Resource(env, capacity=capacity, name="r",
+                        discipline=make_discipline(discipline))
+    done = []
+
+    def proc(index, start, duration, tag):
+        if start > 0:
+            yield env.timeout(start)
+        yield from resource.use(duration, tag)
+        done.append((env.now, index))
+
+    for index, (start, duration, key, weight, priority) in enumerate(charges):
+        tag = (ChargeTag(key=key, weight=weight, priority=priority)
+               if trace_tags else None)
+        env.process(proc(index, start, duration, tag))
+    env.run()
+    return done, resource
+
+
+charge_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.02),   # start delay
+        st.floats(min_value=1e-4, max_value=0.01),  # duration
+        st.sampled_from(["a", "b", "c"]),           # class key
+        st.floats(min_value=0.25, max_value=8.0),   # weight
+        st.integers(min_value=0, max_value=3),      # priority
+    ),
+    min_size=1, max_size=25,
+)
+
+
+class TestFIFOByteIdentity:
+    @given(charges=charge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_property_tags_are_inert_under_fifo(self, charges):
+        """The FIFO trace with service-class tags is byte-identical to the
+        untagged trace: same completion times, same order."""
+        tagged, r1 = run_charges("fifo", charges, trace_tags=True)
+        untagged, r2 = run_charges("fifo", charges, trace_tags=False)
+        assert repr(tagged) == repr(untagged)
+        assert (r1.busy_time, r1.wait_time, r1.waits) == \
+               (r2.busy_time, r2.wait_time, r2.waits)
+
+    def test_fifo_completion_order_is_arrival_order(self):
+        charges = [(0.0, 0.01, "a", 1.0, 0)] * 6
+        done, _ = run_charges("fifo", charges)
+        assert [index for _t, index in done] == list(range(6))
+
+    def test_fifo_queued_and_preemptions_stats(self):
+        charges = [(0.0, 0.01, "a", 1.0, 5), (0.0, 0.01, "b", 9.0, 9)]
+        _, resource = run_charges("fifo", charges, trace_tags=True)
+        assert resource.preemptions == 0
+        assert resource.queued == 0
+
+
+class TestFairShareProperties:
+    @given(charges=charge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_property_every_charge_completes_and_conserves(self, charges):
+        done, resource = run_charges("fair", charges, trace_tags=True)
+        assert len(done) == len(charges)
+        total = sum(duration for _s, duration, *_ in charges)
+        assert resource.busy_time == pytest.approx(total)
+
+    @given(charges=charge_lists, capacity=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_no_ready_charge_is_starved(self, charges, capacity):
+        """Starvation-freedom: the run drains — even a minimum-weight
+        charge is eventually granted while heavier classes stay busy."""
+        done, _ = run_charges("fair", charges, capacity=capacity,
+                              trace_tags=True)
+        assert sorted(index for _t, index in done) == list(range(len(charges)))
+
+    def test_light_charge_is_served_long_before_a_heavy_backlog_drains(self):
+        # 40 queued heavy-class charges plus one light charge arriving
+        # just after the head starts: FIFO would serve it last; fair
+        # share serves it after ~one charge of the competing class.
+        charges = [(0.0, 0.01, "heavy", 1.0, 0)] * 40
+        charges.append((0.001, 0.01, "light", 1.0, 0))
+        done, _ = run_charges("fair", charges, trace_tags=True)
+        completion = {index: t for t, index in done}
+        light = completion[40]
+        makespan = max(completion.values())
+        assert light < makespan / 4
+
+    def test_saturated_classes_split_by_weight(self):
+        env = Environment()
+        resource = Resource(env, 1, "cpu", make_discipline("fair"))
+        served = {"a": 0.0, "b": 0.0, "c": 0.0}
+        weights = {"a": 1.0, "b": 1.0, "c": 4.0}
+
+        def worker(key):
+            tag = ChargeTag(key=key, weight=weights[key])
+            while env.now < 10.0:
+                yield from resource.use(0.01, tag)
+                served[key] += 0.01
+
+        for key in served:
+            env.process(worker(key))
+        env.run(until=10.0)
+        total = sum(served.values())
+        assert served["c"] / total == pytest.approx(4 / 6, rel=0.05)
+        assert served["a"] / total == pytest.approx(1 / 6, rel=0.10)
+        # Work conservation: the slot never idled while work existed.
+        assert resource.busy_time == pytest.approx(10.0, rel=0.01)
+
+
+class TestPriorityPreemptiveProperties:
+    @given(charges=charge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_property_preemption_never_loses_a_charge(self, charges):
+        """Conservation: every charge completes exactly once and the
+        resource's banked busy time equals the total demand, however many
+        preemptions occurred."""
+        done, resource = run_charges("priority", charges, trace_tags=True)
+        assert sorted(index for _t, index in done) == list(range(len(charges)))
+        total = sum(duration for _s, duration, *_ in charges)
+        assert resource.busy_time == pytest.approx(total)
+
+    def test_high_priority_arrival_preempts_immediately(self):
+        # Low-priority 1.0s charge from t=0; high-priority 0.3s charge at
+        # t=0.2 preempts it and completes at 0.5; the victim's remaining
+        # 0.8s then finishes at 1.3 — nothing lost, nothing reordered.
+        charges = [(0.0, 1.0, "low", 1.0, 0), (0.2, 0.3, "high", 1.0, 5)]
+        done, resource = run_charges("priority", charges, trace_tags=True)
+        completion = {index: t for t, index in done}
+        assert completion[1] == pytest.approx(0.5)
+        assert completion[0] == pytest.approx(1.3)
+        assert resource.preemptions == 1
+        assert resource.busy_time == pytest.approx(1.3)
+
+    def test_preempted_charge_resumes_before_later_equal_priority_work(self):
+        # The victim re-queues with its original arrival order: after the
+        # preemptor finishes, the victim resumes ahead of an equal-priority
+        # charge that arrived after it.
+        charges = [
+            (0.0, 0.4, "first", 1.0, 0),   # victim
+            (0.1, 0.2, "boss", 1.0, 9),    # preemptor
+            (0.05, 0.4, "later", 1.0, 0),  # parked behind the victim
+        ]
+        done, _ = run_charges("priority", charges, trace_tags=True)
+        order = [index for _t, index in done]
+        assert order == [1, 0, 2]
+
+    def test_equal_priority_does_not_preempt(self):
+        charges = [(0.0, 0.5, "a", 1.0, 3), (0.1, 0.1, "b", 1.0, 3)]
+        done, resource = run_charges("priority", charges, trace_tags=True)
+        assert resource.preemptions == 0
+        assert [index for _t, index in done] == [0, 1]
+
+
+class TestDisciplineRegistry:
+    def test_known_names(self):
+        from repro.sim.core import discipline_names
+        assert discipline_names() == ["fair", "fifo", "priority"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            make_discipline("shortest-job-first")
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(SimulationError):
+            ChargeTag(weight=0.0)
+
+    def test_params_validate_discipline(self):
+        from repro.engine import ExecutionParams
+        with pytest.raises(ValueError):
+            ExecutionParams(cpu_discipline="lifo")
