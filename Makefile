@@ -1,18 +1,25 @@
 # Developer/CI entry points.
 #
-#   make check        tier-1: fast tests + property suites, fixed hypothesis
-#                     profile (what CI runs on every push)
-#   make check-slow   the slow stress tier (50+ concurrent queries,
-#                     cross-query stealing at scale; also the nightly job)
-#   make check-full   everything: tier-1, slow tier, benchmark smoke
-#   make bench-smoke  one pass of the workload + kernel benchmarks
-#   make bench-kernel kernel events/sec only (writes BENCH_kernel.json)
-#   make experiments  regenerate EXPERIMENTS.md (quick settings)
+#   make check            tier-1: fast tests + property suites, fixed hypothesis
+#                         profile (what CI runs on every push)
+#   make check-slow       the slow stress tier (50+ concurrent queries,
+#                         cross-query stealing at scale; also the nightly job)
+#   make check-full       everything: tier-1, slow tier, benchmark smoke
+#   make lint             ruff check (whole tree) + ruff format --check on
+#                         scripts/ — identical to the CI lint job
+#   make determinism      run the figure/scenario experiments twice and diff
+#                         byte-for-byte against baselines/determinism.txt
+#   make bench-smoke      one pass of the workload + kernel benchmarks
+#   make bench-kernel     kernel events/sec only (writes BENCH_kernel.json)
+#   make bench-regression regenerate the kernel bench and fail on a >25%
+#                         events/s drop vs the committed BENCH_kernel.json
+#   make experiments      regenerate EXPERIMENTS.md (quick settings)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check check-slow check-full bench-smoke bench-kernel experiments
+.PHONY: check check-slow check-full lint determinism bench-smoke bench-kernel \
+	bench-regression experiments
 
 check:
 	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q
@@ -22,11 +29,28 @@ check-slow:
 
 check-full: check check-slow bench-smoke
 
+lint:
+	ruff check .
+	ruff format --check scripts
+
+determinism:
+	$(PYTHON) scripts/check_determinism.py
+
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_workload.py bench_kernel.py
 
 bench-kernel:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_kernel.py
+
+# The baseline is the *committed* BENCH_kernel.json (git show), not the
+# working-tree file: bench-smoke regenerates the working-tree copy, so
+# copying it would compare two back-to-back runs and catch nothing.
+bench-regression:
+	git show HEAD:benchmarks/BENCH_kernel.json > /tmp/BENCH_kernel.baseline.json
+	$(MAKE) bench-kernel
+	$(PYTHON) scripts/check_bench_regression.py \
+		--baseline /tmp/BENCH_kernel.baseline.json \
+		--fresh benchmarks/BENCH_kernel.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --quick

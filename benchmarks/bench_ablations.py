@@ -12,7 +12,6 @@ hierarchical scenario and prints the response-time impact:
 * **global load balancing** — stealing on vs off under skew.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.catalog import SkewSpec

@@ -14,7 +14,6 @@ from repro.experiments.config import (
     scaled_execution_params,
 )
 from repro.experiments.reporting import format_table
-from repro.sim import MachineConfig
 from repro.workloads import pipeline_chain_scenario
 
 

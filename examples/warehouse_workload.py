@@ -16,7 +16,7 @@ Run with::
 from repro.catalog import SkewSpec
 from repro.engine import QueryExecutor
 from repro.experiments.config import scaled_execution_params
-from repro.optimizer import is_left_deep, is_right_deep, tree_signature
+from repro.optimizer import is_left_deep, is_right_deep
 from repro.sim import MachineConfig
 from repro.workloads import WorkloadConfig, build_workload
 

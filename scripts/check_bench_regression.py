@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Kernel-throughput regression gate.
+
+Compares a freshly generated ``BENCH_kernel.json`` against the committed
+baseline and fails when any ``events_per_second`` entry dropped by more
+than ``--max-drop`` (default 25%).  Improvements and small fluctuations
+pass; a real kernel regression does not.
+
+Usage::
+
+    python scripts/check_bench_regression.py \\
+        --baseline /tmp/BENCH_kernel.baseline.json \\
+        --fresh benchmarks/BENCH_kernel.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--fresh", required=True, type=Path)
+    parser.add_argument("--max-drop", type=float, default=0.25)
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())["events_per_second"]
+    fresh = json.loads(args.fresh.read_text())["events_per_second"]
+
+    failed = False
+    for name, before in sorted(baseline.items()):
+        after = fresh.get(name)
+        if after is None:
+            print(f"FAIL {name}: missing from the fresh benchmark output")
+            failed = True
+            continue
+        drop = (before - after) / before if before else 0.0
+        status = "FAIL" if drop > args.max_drop else "ok"
+        print(
+            f"{status:4s} {name}: {before} -> {after} events/s "
+            f"({-drop:+.1%} vs baseline, floor {-args.max_drop:.0%})"
+        )
+        failed = failed or status == "FAIL"
+    if failed:
+        print(
+            f"kernel throughput dropped more than {args.max_drop:.0%}; "
+            "either fix the regression or re-baseline BENCH_kernel.json "
+            "with a justification in the PR",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

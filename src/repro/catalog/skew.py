@@ -17,7 +17,7 @@ This module provides:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 __all__ = ["zipf_weights", "proportional_split", "SkewSpec"]

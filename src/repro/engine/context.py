@@ -22,11 +22,11 @@ from typing import TYPE_CHECKING, Optional
 from ..catalog.skew import proportional_split, zipf_weights
 from ..optimizer.operator_tree import OpKind
 from ..optimizer.plan import ParallelExecutionPlan
-from ..sim.core import Environment, Event, make_discipline
+from ..sim.core import DEFAULT_TAG, Environment, Event, make_discipline
 from ..sim.disk import Disk
 from ..sim.machine import (Machine, MachineConfig, SMNode, make_disks,
                            make_processors)
-from ..sim.network import Message, Network
+from ..sim.network import Network
 from ..sim.rng import RandomStreams
 from .activation import DataActivation, GroupId, TriggerActivation
 from .metrics import ExecutionMetrics
@@ -170,10 +170,12 @@ class ExecutionContext:
     Passing ``substrate`` (see :class:`repro.serving.SharedSubstrate`)
     instead *shares* the physical machine with other concurrent query
     executions: the context keeps its own queues, operator runtimes,
-    schedulers and network overlay (the modelled network has infinite
-    bandwidth, so per-query overlays are semantically identical to one
-    multiplexed network while keeping per-query traffic counters exact),
-    but its threads contend with other queries' threads for the shared
+    schedulers and network overlay (per-query traffic counters stay
+    exact; with the paper's infinite bandwidth the overlays are
+    semantically identical to one multiplexed network, and with finite
+    bandwidth they all serialize over the substrate's one shared
+    :class:`~repro.sim.network.NetworkLink`), but its threads contend
+    with other queries' threads for the shared
     :class:`~repro.sim.machine.Processor` slots, disks and node memory.
     ``start_time`` is then the admission time: response times are reported
     relative to it, separating queueing delay from execution time.
@@ -201,11 +203,19 @@ class ExecutionContext:
             self.processors = make_processors(
                 self.env, config, make_discipline(self.params.cpu_discipline)
             )
+            self.network = Network(
+                self.env, self.params.network,
+                discipline=make_discipline(self.params.net_discipline),
+            )
         else:
             self.env = substrate.env
             self.machine = substrate.machine
             self.processors = substrate.processors
-        self.network = Network(self.env, self.params.network)
+            # A per-query overlay over the *shared* physical link: traffic
+            # counters stay per query, but messages of all queries queue
+            # behind each other on the one interconnect.
+            self.network = Network(self.env, self.params.network,
+                                   link=substrate.net_link)
         self.streams = RandomStreams(self.params.seed)
         self.metrics = ExecutionMetrics()
         self.result_sink = ResultSink()
@@ -219,7 +229,8 @@ class ExecutionContext:
         # --- substrate ------------------------------------------------------
         if substrate is None:
             self.disks: list[list[Disk]] = make_disks(
-                self.env, self.params.disk, config
+                self.env, self.params.disk, config,
+                make_discipline(self.params.disk_discipline),
             )
         else:
             self.disks = substrate.disks
@@ -361,7 +372,7 @@ class ExecutionContext:
         dst_node = activation.group[0]
         nbytes = activation.tuples * activation.tuple_size
         self.network.send(src_node, dst_node, "data", activation, nbytes,
-                          purpose="pipeline")
+                          purpose="pipeline", tag=self.charge_tag)
         return self.params.network.send_instructions(nbytes)
 
     def deliver_data_activation(self, activation: DataActivation) -> None:
@@ -380,7 +391,8 @@ class ExecutionContext:
         if src_node == dst_node:
             return
         self.network.send(src_node, dst_node, "credit",
-                          (op_id, cell, count), nbytes=16, purpose="control")
+                          (op_id, cell, count), nbytes=16, purpose="control",
+                          tag=self.charge_tag)
 
     def on_credit_message(self, node_id: int, payload) -> None:
         """Producer node received returned credits: drain parked batches."""
@@ -505,6 +517,15 @@ class ExecutionContext:
         self.completion_time = self.env.now
         self.response_time = self.env.now - self.start_time
         self.metrics.response_time = self.response_time
+        # Per-resource queueing attribution: the disks and the network
+        # link account waiting per ChargeTag key, and this query's key is
+        # unique (per query under the serving layer, the default tag in
+        # single-query mode, where all devices are context-owned anyway).
+        key = (self.charge_tag or DEFAULT_TAG).key
+        self.metrics.disk_wait_time = sum(
+            disk.wait_time_for(key) for row in self.disks for disk in row
+        )
+        self.metrics.net_wait_time = self.network.wait_time_for(key)
         if self.substrate is not None:
             self.substrate.unregister_context(self)
         if not self.finished.triggered:

@@ -32,6 +32,7 @@ __all__ = [
     "ExecutionMetrics",
     "ExecutionResult",
     "QueryCompletion",
+    "QueryShed",
     "ShedRecord",
     "WorkloadMetrics",
     "percentile",
@@ -53,6 +54,12 @@ class ExecutionMetrics:
     #: time threads spent queued for a processor behind concurrent
     #: queries' charges (0 in single-query mode: one thread/processor).
     cpu_contention_time: float = 0.0
+    #: time this query's read requests spent queued behind other requests
+    #: at the disk arms (self- or cross-query; per-ChargeTag attribution).
+    disk_wait_time: float = 0.0
+    #: time this query's messages spent queued for the network link
+    #: (always 0 with the paper's infinite-bandwidth interconnect).
+    net_wait_time: float = 0.0
     thread_count: int = 0
 
     # --- activations ------------------------------------------------------------
@@ -239,6 +246,34 @@ class ShedRecord:
         return self.shed_time - self.arrival_time
 
 
+@dataclass(frozen=True)
+class QueryShed:
+    """Explicit completion kind of a shed query.
+
+    A :class:`~repro.serving.coordinator.QueryRequest`'s ``done`` event
+    fires with a :class:`~repro.engine.metrics.QueryCompletion` when the
+    query finished — and with a :class:`QueryShed` when overload handling
+    rejected it, so closed-loop clients (and future retry/backoff client
+    models) can distinguish "served" from "dropped" without guessing from
+    ``None``.
+    """
+
+    record: ShedRecord
+
+    @property
+    def query_id(self) -> int:
+        return self.record.query_id
+
+    @property
+    def service_class(self) -> str:
+        return self.record.service_class
+
+    @property
+    def reason(self) -> str:
+        """``"queue_timeout"`` or ``"deadline"`` (see :class:`ShedRecord`)."""
+        return self.record.reason
+
+
 @dataclass
 class WorkloadMetrics:
     """Aggregate observables of one multi-query workload run.
@@ -362,6 +397,28 @@ class WorkloadMetrics:
             return 0.0
         return sum(c.queueing_delay for c in completions) / len(completions)
 
+    def class_resource_waits(self, service_class: str) -> dict:
+        """Mean per-query queueing delay at each service resource.
+
+        The breakdown that says *where* an SLO was lost: time the class's
+        queries spent queued for a processor (``cpu``), behind other read
+        requests at the disk arms (``disk``) and for the network link
+        (``net``) — all after admission, so none of it overlaps the
+        admission queueing delay.
+        """
+        completions = self.completions_of(service_class)
+        if not completions:
+            return {"cpu": 0.0, "disk": 0.0, "net": 0.0}
+        n = len(completions)
+        return {
+            "cpu": sum(c.result.metrics.cpu_contention_time
+                       for c in completions) / n,
+            "disk": sum(c.result.metrics.disk_wait_time
+                        for c in completions) / n,
+            "net": sum(c.result.metrics.net_wait_time
+                       for c in completions) / n,
+        }
+
     def slo_attainment(self, service_class: str) -> float:
         """Fraction of the class's queries that met their latency SLO.
 
@@ -389,6 +446,7 @@ class WorkloadMetrics:
                 "p95_latency": self.class_latency_percentile(name, 95.0),
                 "mean_queueing_delay": self.class_mean_queueing_delay(name),
                 "slo_attainment": self.slo_attainment(name),
+                "resource_waits": self.class_resource_waits(name),
             }
             for name in self.class_names()
         }
@@ -410,6 +468,14 @@ class WorkloadMetrics:
 
     def total_cpu_contention(self) -> float:
         return sum(c.result.metrics.cpu_contention_time for c in self.completions)
+
+    def total_disk_wait(self) -> float:
+        """Disk queueing delay summed over all completions."""
+        return sum(c.result.metrics.disk_wait_time for c in self.completions)
+
+    def total_net_wait(self) -> float:
+        """Network-link queueing delay summed over all completions."""
+        return sum(c.result.metrics.net_wait_time for c in self.completions)
 
     # -- deterministic digest ------------------------------------------------
 
@@ -433,6 +499,8 @@ class WorkloadMetrics:
             "mean_execution_time": self.mean_execution_time(),
             "total_steal_bytes": self.total_steal_bytes(),
             "total_cpu_contention": self.total_cpu_contention(),
+            "total_disk_wait": self.total_disk_wait(),
+            "total_net_wait": self.total_net_wait(),
             "cross_steal_rounds": self.total_cross_steal_rounds(),
             "broker_notifications": self.broker_notifications,
             "per_class": self.per_class_summary(),

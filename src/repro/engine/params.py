@@ -75,6 +75,21 @@ class ExecutionParams:
     #: ``"fair"`` (weighted fair sharing by service-class weight) or
     #: ``"priority"`` (priority-preemptive by service-class priority).
     cpu_discipline: str = "fifo"
+    #: how concurrent queries' read requests share a disk arm — the same
+    #: registry as ``cpu_discipline``.  ``"fifo"`` keeps the paper's
+    #: analytic busy-period disk (bit-identical figure outputs, request
+    #: tags inert); ``"fair"`` splits a contended arm by service-class
+    #: weight; ``"priority"`` serves strictly by class priority and
+    #: preempts an in-flight lower-priority transfer, so an interactive
+    #: class stops queueing behind batch table scans at the disk.
+    disk_discipline: str = "fifo"
+    #: how messages share the interconnect — the same registry again.
+    #: Only meaningful when ``network.bandwidth`` is finite (the paper's
+    #: interconnect is infinite, so messages never queue and the
+    #: discipline is moot); with finite bandwidth, messages serialize
+    #: over the shared link in discipline order, tagged by their sending
+    #: query's service class.
+    net_discipline: str = "fifo"
     #: cross-query machine-share stealing: a node starving under *any*
     #: query may trigger the steal protocol of co-resident queries, so
     #: their backlog moves onto the idle node (serving layer only; a
@@ -134,11 +149,14 @@ class ExecutionParams:
             raise ValueError(
                 f"io_multiplex_window must be >= 1, got {self.io_multiplex_window}"
             )
-        if self.cpu_discipline not in discipline_names():
-            raise ValueError(
-                f"unknown cpu_discipline {self.cpu_discipline!r}; known: "
-                f"{discipline_names()}"
-            )
+        for field_name in ("cpu_discipline", "disk_discipline",
+                           "net_discipline"):
+            value = getattr(self, field_name)
+            if value not in discipline_names():
+                raise ValueError(
+                    f"unknown {field_name} {value!r}; known: "
+                    f"{discipline_names()}"
+                )
         if self.cross_steal_imbalance < 1.0:
             raise ValueError(
                 f"cross_steal_imbalance must be >= 1, got "

@@ -31,7 +31,6 @@ probe queues fill).
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import TYPE_CHECKING, Optional, Sequence
 

@@ -196,7 +196,8 @@ class NodeScheduler:
         }
         for other in others:
             context.network.send(self.node.node_id, other, "starving",
-                                 payload, nbytes=64, purpose="control")
+                                 payload, nbytes=64, purpose="control",
+                                 tag=context.charge_tag)
 
     def _cached_copy_keys(self) -> set[tuple[int, GroupId]]:
         copies = self.node.store._copies  # read-only peek for the cache list
@@ -223,7 +224,8 @@ class NodeScheduler:
             "load": context.node_load(self.node.node_id),
         }
         context.network.send(self.node.node_id, requester, "offer",
-                             reply, nbytes=48, purpose="control")
+                             reply, nbytes=48, purpose="control",
+                             tag=context.charge_tag)
 
     def _best_candidate(self, requester: int, scope: Optional[int],
                         free_memory: int,
@@ -325,7 +327,8 @@ class NodeScheduler:
         def _ship():
             yield env.timeout(serialize)
             context.network.send(self.node.node_id, requester, "steal_data",
-                                 reply, nbytes=nbytes, purpose="loadbalance")
+                                 reply, nbytes=nbytes, purpose="loadbalance",
+                                 tag=context.charge_tag)
 
         env.process(_ship(), name=f"ship:{self.node.node_id}->{requester}")
 
@@ -357,12 +360,13 @@ class NodeScheduler:
             "candidate": candidate,
         }
         self.context.network.send(self.node.node_id, provider, "acquire",
-                                  request, nbytes=48, purpose="control")
+                                  request, nbytes=48, purpose="control",
+                                  tag=self.context.charge_tag)
 
     def _on_steal_data(self, message: Message) -> None:
         context = self.context
         payload = message.payload
-        round_ = self.rounds.pop(payload["scope"], None)
+        self.rounds.pop(payload["scope"], None)
         activations: list[DataActivation] = payload["activations"]
         if not activations:
             self.node.lb_blocked_scopes.add(payload["scope"])
@@ -429,22 +433,23 @@ def run_end_detection(context: ExecutionContext, runtime: OperatorRuntime):
     env = context.env
     network = context.network
     op_id = runtime.op_id
+    tag = context.charge_tag
 
     for node_id in others:
         network.send(node_id, coordinator, "end_queues", op_id,
-                     nbytes=16, purpose="control")
+                     nbytes=16, purpose="control", tag=tag)
     yield env.timeout(delay)
     for node_id in others:
         network.send(coordinator, node_id, "end_confirm_request", op_id,
-                     nbytes=16, purpose="control")
+                     nbytes=16, purpose="control", tag=tag)
     yield env.timeout(delay)
     for node_id in others:
         network.send(node_id, coordinator, "end_confirm_reply", op_id,
-                     nbytes=16, purpose="control")
+                     nbytes=16, purpose="control", tag=tag)
     yield env.timeout(delay)
     for node_id in others:
         network.send(coordinator, node_id, "end_terminate", op_id,
-                     nbytes=16, purpose="control")
+                     nbytes=16, purpose="control", tag=tag)
     yield env.timeout(delay)
     # No new work can have appeared: producers were done and no
     # activations existed when the protocol started.

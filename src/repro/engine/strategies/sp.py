@@ -26,10 +26,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ...catalog.skew import proportional_split, zipf_weights
+from ...catalog.skew import proportional_split
 from ...optimizer.operator_tree import OpKind, PipelineChain
 from ...optimizer.plan import ParallelExecutionPlan
-from ...sim.core import Environment
+from ...sim.core import DEFAULT_TAG, Environment
 from ...sim.disk import Disk
 from ...sim.machine import MachineConfig, make_processors
 from ..metrics import ExecutionMetrics, ExecutionResult
@@ -106,6 +106,8 @@ class SynchronousPipeliningExecutor:
         self._scanned = scanned
         self._contention = contention
         self._thread_count = k
+        self._disks = disks
+        self._wait_key = (charge_tag or DEFAULT_TAG).key
 
         def charge(thread_index: int, instructions: float):
             seconds = instructions / cost.mips
@@ -181,6 +183,7 @@ class SynchronousPipeliningExecutor:
                     handle = disks[chunk.disk_id].read_async(
                         chunk.pages,
                         stream=(query_id, chain.chain_id, chunk.disk_id),
+                        tag=charge_tag,
                     )
                     yield from charge(thread_index,
                                       params.disk.async_init_instructions)
@@ -192,6 +195,7 @@ class SynchronousPipeliningExecutor:
                     nxt_handle = disks[nxt.disk_id].read_async(
                         nxt.pages,
                         stream=(query_id, chain.chain_id, nxt.disk_id),
+                        tag=charge_tag,
                     )
                     yield from charge(thread_index,
                                       params.disk.async_init_instructions)
@@ -223,6 +227,9 @@ class SynchronousPipeliningExecutor:
         metrics.thread_count = self._thread_count
         metrics.thread_busy_time = sum(self._busy)
         metrics.cpu_contention_time = self._contention[0]
+        metrics.disk_wait_time = sum(
+            disk.wait_time_for(self._wait_key) for disk in self._disks
+        )
         metrics.tuples_scanned = self._scanned[0]
         metrics.result_tuples = int(round(self._results[0]))
         return ExecutionResult(

@@ -17,7 +17,7 @@ already here?".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..sim.machine import SMNode

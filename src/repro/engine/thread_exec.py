@@ -270,6 +270,7 @@ class ExecutionThread:
             return disk.read_async(
                 trigger.pages,
                 stream=(context.query_id, runtime.op_id, trigger.disk_id),
+                tag=context.charge_tag,
             )
 
         inflight: list[tuple[TriggerActivation, object]] = [

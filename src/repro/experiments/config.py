@@ -39,13 +39,12 @@ unscaled (they already shrink with the data).  Running with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from ..catalog.skew import SkewSpec
 from ..engine.params import ExecutionParams
 from ..sim.disk import DiskParams
-from ..sim.machine import MachineConfig
 from ..sim.network import NetworkParams
 
 __all__ = [

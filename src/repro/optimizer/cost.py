@@ -27,10 +27,9 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from ..catalog.relation import Relation
 from ..query.graph import QueryGraph
 from ..sim.disk import DiskParams
-from .join_tree import BaseNode, JoinNode, JoinTree
+from .join_tree import BaseNode, JoinTree
 
 __all__ = ["CostParams", "CardinalityEstimator", "distort_cardinalities", "CostModel"]
 

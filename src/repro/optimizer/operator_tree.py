@@ -22,12 +22,12 @@ has at most one pipelined input and one pipelined output, chains are
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from ..catalog.relation import Relation
 from .cost import CardinalityEstimator
-from .join_tree import BaseNode, JoinNode, JoinTree
+from .join_tree import BaseNode, JoinTree
 
 __all__ = [
     "OpKind",

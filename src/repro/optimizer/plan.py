@@ -13,8 +13,8 @@ allocation; Figure 7 re-derives them from distorted cardinalities).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Optional
 
 from ..catalog.partitioning import RelationPlacement, place_relation
 from ..query.graph import QueryGraph

@@ -28,7 +28,7 @@ source(chain_{i+1})`` for consecutive chains in the chosen total order.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from .operator_tree import OperatorTree, OpKind

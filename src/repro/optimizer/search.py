@@ -19,7 +19,6 @@ bushy).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Optional
 

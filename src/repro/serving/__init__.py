@@ -38,6 +38,7 @@ Quickstart::
     print(result.metrics.throughput(), result.metrics.p95_latency)
 """
 
+from ..engine.metrics import QueryCompletion, QueryShed
 from .admission import AdmissionController, AdmissionPolicy, estimated_node_demand
 from .arrivals import ArrivalSpec, sample_arrival_times
 from .classes import BATCH, DEFAULT_CLASS, INTERACTIVE, ServiceClass
@@ -57,7 +58,9 @@ __all__ = [
     "ServiceClass",
     "CrossQueryBroker",
     "MultiQueryCoordinator",
+    "QueryCompletion",
     "QueryRequest",
+    "QueryShed",
     "WorkloadDriver",
     "WorkloadRunResult",
     "WorkloadSpec",

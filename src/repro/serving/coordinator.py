@@ -23,8 +23,9 @@ within a service class, strict class priority across classes) ->
 (completion), recorded as a :class:`~repro.engine.metrics.QueryCompletion`
 with its queueing delay and execution time separated.  Under an
 overload policy a queued query may instead be *shed* (queue timeout or
-expired SLO deadline): its ``done`` event fires with ``None`` and the
-rejection is recorded as a :class:`~repro.engine.metrics.ShedRecord`.
+expired SLO deadline): its ``done`` event fires with an explicit
+:class:`~repro.engine.metrics.QueryShed` and the rejection is recorded
+as a :class:`~repro.engine.metrics.ShedRecord`.
 
 SP queries are coordinated too (single-node substrates only): the SP
 executor's driver process runs inside the shared environment and its
@@ -53,7 +54,8 @@ from typing import Optional
 
 from ..engine.context import ExecutionContext, ExecutionDeadlock
 from ..engine.executor import QueryExecutor
-from ..engine.metrics import QueryCompletion, ShedRecord, WorkloadMetrics
+from ..engine.metrics import (QueryCompletion, QueryShed, ShedRecord,
+                              WorkloadMetrics)
 from ..engine.params import ExecutionParams
 from ..engine.strategies.base import StrategyError
 from ..engine.strategies.sp import SynchronousPipeliningExecutor
@@ -150,7 +152,7 @@ class QueryRequest:
         self.seq = seq
         self.start_time: Optional[float] = None
         #: fires when the query finishes (with its QueryCompletion) or is
-        #: shed (with None) — closed-loop clients wait on it.
+        #: shed (with a QueryShed) — closed-loop clients wait on it.
         self.done = done
         self.completion: Optional[QueryCompletion] = None
         self.context: Optional[ExecutionContext] = None
@@ -214,16 +216,19 @@ class MultiQueryCoordinator:
                 "SP queries need a single-SM-node substrate; this machine "
                 f"has {self.config.nodes} nodes"
             )
-        if params is not None and \
-                params.cpu_discipline != self.params.cpu_discipline:
-            # The processors were built with the substrate's discipline;
-            # a per-query override would be silently ignored.
-            raise ValueError(
-                f"query cpu_discipline {params.cpu_discipline!r} differs "
-                f"from the substrate's {self.params.cpu_discipline!r}; the "
-                "scheduling discipline is machine-wide (set it on the "
-                "coordinator's params)"
-            )
+        if params is not None:
+            # The processors, disks and network link were built with the
+            # substrate's disciplines; a per-query override would be
+            # silently ignored.
+            for knob in ("cpu_discipline", "disk_discipline",
+                         "net_discipline"):
+                if getattr(params, knob) != getattr(self.params, knob):
+                    raise ValueError(
+                        f"query {knob} {getattr(params, knob)!r} differs "
+                        f"from the substrate's {getattr(self.params, knob)!r}; "
+                        "scheduling disciplines are machine-wide (set them "
+                        "on the coordinator's params)"
+                    )
         if query_id is None:
             query_id = self._next_query_id
         if query_id in self._used_query_ids:
@@ -334,15 +339,19 @@ class MultiQueryCoordinator:
     def _shed(self, request: QueryRequest, reason: str) -> None:
         request.shed = True
         self.admission.on_shed(request.service_class)
-        self.metrics.record_shed(ShedRecord(
+        record = ShedRecord(
             query_id=request.query_id,
             service_class=request.service_class.name,
             arrival_time=request.arrival_time,
             shed_time=self.env.now,
             reason=reason,
-        ))
+        )
+        self.metrics.record_shed(record)
         if not request.done.triggered:
-            request.done.succeed(None)
+            # An explicit completion kind, not ``done(None)``: drivers
+            # (and future retry/backoff clients) can tell a shed query
+            # from a finished one by the event's value type.
+            request.done.succeed(QueryShed(record))
 
     def _arm_shed_timer(self) -> None:
         """Wake the admission loop at the earliest pending shed deadline.

@@ -12,17 +12,21 @@ exclusivity: a :class:`SharedSubstrate` owns the physical state once —
   admission controller reads the live free-memory signal the steal
   protocol already uses),
 * one :class:`~repro.sim.machine.Processor` per (node, index) (threads of
-  different queries FIFO-queue behind each other's CPU charges),
+  different queries queue behind each other's CPU charges under
+  ``params.cpu_discipline``),
 * one :class:`~repro.sim.disk.Disk` per (node, arm) (concurrent scans
-  contend for arms; read streams are query-scoped so the sequential
-  prefetch never conflates two queries' scans)
+  contend for arms under ``params.disk_discipline``; read streams are
+  query-scoped so the sequential prefetch never conflates two queries'
+  scans),
+* at most one :class:`~repro.sim.network.NetworkLink` (finite-bandwidth
+  interconnects only): messages of all queries serialize over it under
+  ``params.net_discipline``
 
 — and every concurrent :class:`ExecutionContext` borrows it.  Each context
-keeps a private :class:`~repro.sim.network.Network` overlay: the modelled
-network has infinite bandwidth and a fixed delay, so per-query overlays on
-one environment are observationally identical to a single multiplexed
-network, while per-query traffic counters (steal bytes per query) stay
-exact and free.
+keeps a private :class:`~repro.sim.network.Network` overlay over the
+shared link, so per-query traffic counters (steal bytes per query) stay
+exact and free; with the paper's infinite bandwidth the overlays are
+observationally identical to a single multiplexed network.
 
 The substrate also aggregates the *cross-query* load signal
 (:meth:`node_load`): the steal protocol ranks provider nodes by
@@ -40,6 +44,7 @@ from ..sim.core import Environment, make_discipline
 from ..sim.disk import Disk
 from ..sim.machine import (Machine, MachineConfig, Processor, make_disks,
                            make_processors)
+from ..sim.network import NetworkLink
 
 __all__ = ["SharedSubstrate"]
 
@@ -61,9 +66,22 @@ class SharedSubstrate:
         self.processors: list[list[Processor]] = make_processors(
             self.env, config, self.discipline
         )
+        #: every disk arm of the machine runs ``params.disk_discipline``
+        #: — the same registry as the CPUs, so an interactive class's
+        #: reads can jump (or preempt) batch scans at the disk too.
+        self.disk_discipline = make_discipline(self.params.disk_discipline)
         self.disks: list[list[Disk]] = make_disks(
-            self.env, self.params.disk, config
+            self.env, self.params.disk, config, self.disk_discipline
         )
+        #: the one physical interconnect, shared by every query's network
+        #: overlay; None with the paper's infinite bandwidth (no
+        #: queueing, so nothing to schedule).
+        self.net_link = None
+        if self.params.network.bandwidth is not None:
+            self.net_link = NetworkLink(
+                self.env, self.params.network,
+                make_discipline(self.params.net_discipline),
+            )
         #: live (admitted, unfinished) execution contexts.
         self.contexts: list = []
         #: total contexts ever registered (diagnostics).
@@ -101,6 +119,12 @@ class SharedSubstrate:
                 "context disk parameters differ from the shared substrate's; "
                 "the disks are shared hardware and were built from the "
                 "substrate's model"
+            )
+        if context.params.network != self.params.network:
+            raise ValueError(
+                "context network parameters differ from the shared "
+                "substrate's; the interconnect is shared hardware and its "
+                "link was built from the substrate's model"
             )
         if context.params.cost.mips != self.params.cost.mips:
             raise ValueError(

@@ -26,7 +26,7 @@ from .disk import AsyncReadHandle, Disk, DiskParams
 from .machine import (KB, MB, PAGE_SIZE, Machine, MachineConfig,
                       MemoryExhausted, Processor, SMNode, make_disks,
                       make_processors)
-from .network import Message, Network, NetworkParams
+from .network import Message, Network, NetworkLink, NetworkParams
 from .rng import RandomStreams, derive_seed
 
 __all__ = [
@@ -60,6 +60,7 @@ __all__ = [
     "SMNode",
     "Message",
     "Network",
+    "NetworkLink",
     "NetworkParams",
     "RandomStreams",
     "derive_seed",

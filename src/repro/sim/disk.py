@@ -1,4 +1,5 @@
-"""Disk service model with asynchronous I/O and a small I/O cache.
+"""Disk service model with asynchronous I/O, a small I/O cache, and a
+pluggable scheduling discipline.
 
 Reproduces the paper's simulated-disk parameters (Section 5.1.1):
 
@@ -13,7 +14,12 @@ I/O cache size                 8 pages
 
 The model:
 
-* each disk serves requests FIFO (a single arm);
+* each disk is one arm whose requests are ordered by a
+  :class:`~repro.sim.core.SchedulingDiscipline` — strict FIFO by default
+  (the paper's model, bit-identical to the pre-discipline disk), or the
+  same ``"fair"`` / ``"priority"`` disciplines the processors run, so a
+  service class's :class:`~repro.sim.core.ChargeTag` is honored at the
+  disk exactly as it is at the CPU;
 * a request for ``n`` pages costs ``latency + seek + n * page/transfer``;
 * the I/O cache prefetches up to ``io_cache_pages`` pages ahead on a
   sequential stream, so a reader that processes pages slower than the disk
@@ -23,6 +29,25 @@ The model:
   ``async_init_instructions`` of CPU, charged by the caller (the engine's
   execution threads), not here.
 
+Under the default FIFO discipline the disk keeps the original analytic
+busy-period model (a closed-form ``busy_until`` horizon, one timeout per
+request): it is event-for-event identical to the seed behaviour, which the
+figure-output byte-identity regressions rest on, and request tags are
+inert.  Under ``"fair"`` or ``"priority"`` each request instead holds the
+arm — a capacity-1 :class:`~repro.sim.core.Resource` — for its service
+time, so waiting requests are reordered (and running ones preempted) by
+class weight or priority.  A request continuing the stream the arm most
+recently served still skips the latency + seek (the cache's read-ahead);
+a stream that lost the arm in between — including to a preempting
+higher-priority read — pays the re-seek, and the overlapped prefetch
+shortcut of the FIFO cache is not modelled, because a reordered arm has
+no stable notion of "the request right behind me".
+
+Queueing is observable either way: :attr:`Disk.wait_time` accumulates the
+time requests spent queued behind other requests, and
+:meth:`Disk.wait_time_for` splits it by :class:`ChargeTag` key, which the
+serving layer reads back into per-class disk queueing-delay metrics.
+
 The engine drives disks through :class:`AsyncReadHandle`: start a read,
 keep executing other activations, test completion, and finally consume the
 pages — the ``IO_InitAsync``/``IO_Read`` pattern of Section 4.
@@ -31,8 +56,10 @@ pages — the ``IO_InitAsync``/``IO_Read`` pattern of Section 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from .core import Environment, Event
+from .core import (ChargeTag, DEFAULT_TAG, Environment, Event, Resource,
+                   SchedulingDiscipline)
 
 __all__ = ["DiskParams", "Disk", "AsyncReadHandle"]
 
@@ -60,6 +87,12 @@ class DiskParams:
             raise ValueError(f"pages must be positive, got {pages}")
         return self.latency + self.seek_time + pages * self.page_size / self.transfer_rate
 
+    def transfer_time(self, pages: int) -> float:
+        """Pure transfer time of ``pages`` pages (no latency, no seek)."""
+        if pages <= 0:
+            raise ValueError(f"pages must be positive, got {pages}")
+        return pages * self.page_size / self.transfer_rate
+
 
 class AsyncReadHandle:
     """In-flight asynchronous read: poll with :attr:`done`, wait on :attr:`event`.
@@ -83,29 +116,71 @@ class AsyncReadHandle:
 
 
 class Disk:
-    """One disk arm with FIFO queueing and sequential-prefetch batching.
+    """One disk arm with discipline-ordered queueing and prefetch batching.
 
-    The disk is modelled as a server whose busy period extends as requests
-    arrive: a request issued while the disk is busy starts when the previous
-    ones finish.  This captures the contention that makes the *number* of
-    disks (one per processor) matter in the speedup experiments.
+    Under FIFO (``discipline=None`` or the FIFO discipline) the disk is
+    modelled as a server whose busy period extends as requests arrive: a
+    request issued while the disk is busy starts when the previous ones
+    finish.  This captures the contention that makes the *number* of
+    disks (one per processor) matter in the speedup experiments.  Under
+    ``"fair"`` / ``"priority"`` the same arm is a scheduled resource: the
+    discipline decides which waiting request is served next (and whether
+    a running transfer is preempted), using each request's
+    :class:`~repro.sim.core.ChargeTag`.
     """
 
-    def __init__(self, env: Environment, params: DiskParams, name: str = "disk"):
+    def __init__(self, env: Environment, params: DiskParams, name: str = "disk",
+                 discipline: Optional[SchedulingDiscipline] = None):
         self.env = env
         self.params = params
         self.name = name
+        #: the scheduled arm; None means the analytic FIFO busy-period
+        #: model (the seed behaviour, bit-identical single-query runs).
+        self._arm: Optional[Resource] = None
+        if discipline is not None and discipline.name != "fifo":
+            self._arm = Resource(env, capacity=1, name=f"{name}:arm",
+                                 discipline=discipline)
         self._busy_until = 0.0
         self._last_stream: object = None
         #: per sequential stream: when its last request's data (plus the
-        #: cache's read-ahead) became available.
+        #: cache's read-ahead) became available (FIFO path only).
         self._stream_ready: dict[object, float] = {}
         # --- statistics -------------------------------------------------
         self.requests = 0
         self.pages_read = 0
         self.busy_time = 0.0
+        #: time requests spent queued behind other requests' service.
+        self.wait_time = 0.0
+        #: ChargeTag key -> queued time of that class's requests.
+        self.wait_by_key: dict[str, float] = {}
 
-    def read_async(self, pages: int, stream: object = None) -> AsyncReadHandle:
+    @property
+    def discipline_name(self) -> str:
+        """Registry name of the discipline this arm runs."""
+        return "fifo" if self._arm is None else self._arm.discipline.name
+
+    @property
+    def preemptions(self) -> int:
+        """Transfers preempted mid-service (0 under FIFO/fair)."""
+        return 0 if self._arm is None else self._arm.preemptions
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for the arm (0 on the FIFO path,
+        whose queueing is folded into the busy-period horizon)."""
+        return 0 if self._arm is None else self._arm.queued
+
+    def wait_time_for(self, key: str) -> float:
+        """Queued time accumulated by requests tagged with ``key``."""
+        return self.wait_by_key.get(key, 0.0)
+
+    def _record_wait(self, key: str, waited: float) -> None:
+        if waited > 1e-15:
+            self.wait_time += waited
+            self.wait_by_key[key] = self.wait_by_key.get(key, 0.0) + waited
+
+    def read_async(self, pages: int, stream: object = None,
+                   tag: Optional[ChargeTag] = None) -> AsyncReadHandle:
         """Issue an asynchronous read of ``pages`` pages.
 
         Returns immediately with a handle; the handle's event fires when the
@@ -119,14 +194,23 @@ class Disk:
         after the previous request on the stream completed, overlapping
         the reader's CPU time.  A stream switch pays the full latency +
         seek and restarts the read-ahead.
+
+        ``tag`` carries the request's service-class attributes.  The FIFO
+        arm ignores it (tags are inert, exactly as on CPU charges); the
+        fair and priority disciplines order — and may preempt — requests
+        by it.  Either way the tag's key attributes the request's queueing
+        time in :meth:`wait_time_for`.
         """
         if pages <= 0:
             raise ValueError(f"pages must be positive, got {pages}")
+        if self._arm is not None:
+            return self._read_scheduled(pages, stream, tag)
         if pages > 0 and self.params.io_cache_pages > 0:
             prefetchable = pages <= self.params.io_cache_pages
         else:
             prefetchable = False
         now = self.env.now
+        key = (tag or DEFAULT_TAG).key
         transfer = pages * self.params.page_size / self.params.transfer_rate
         sequential = (stream is not None and stream == self._last_stream
                       and stream in self._stream_ready)
@@ -139,10 +223,12 @@ class Disk:
                 finish = ready
             else:
                 finish = max(now, self._busy_until) + transfer
+                self._record_wait(key, max(0.0, self._busy_until - now))
             self.busy_time += transfer
         else:
             service = self.params.service_time(pages)
             finish = max(now, self._busy_until) + service
+            self._record_wait(key, max(0.0, self._busy_until - now))
             self.busy_time += service
         self._last_stream = stream
         if stream is not None:
@@ -152,6 +238,49 @@ class Disk:
         self.pages_read += pages
         done = self.env.timeout(finish - now, value=pages)
         return AsyncReadHandle(done, pages, now)
+
+    # -- scheduled (non-FIFO) path ------------------------------------------
+
+    def _read_scheduled(self, pages: int, stream: object,
+                        tag: Optional[ChargeTag]) -> AsyncReadHandle:
+        """One request through the discipline-scheduled arm.
+
+        The service time is fixed at issue: a request continuing the
+        stream the arm most recently *served* reads sequentially
+        (transfer only); anything else pays the full latency + seek +
+        transfer.  Under reordering this is an approximation — exact for
+        the engine's dominant pattern (a thread issues a disk's next
+        request only after consuming the previous completion), and a
+        request whose stream lost the arm in between (e.g. to a
+        preempting higher-priority read) correctly pays the re-seek.
+        The arm serves the request whenever the discipline grants it,
+        including preempting a running lower-priority transfer.
+        """
+        now = self.env.now
+        sequential = stream is not None and stream == self._last_stream
+        if sequential:
+            service = self.params.transfer_time(pages)
+        else:
+            service = self.params.service_time(pages)
+        self.requests += 1
+        self.pages_read += pages
+        done = self.env.event(f"read:{self.name}")
+        self.env.process(
+            self._serve(service, pages, stream, tag or DEFAULT_TAG, done),
+            name=f"disk:{self.name}",
+        )
+        return AsyncReadHandle(done, pages, now)
+
+    def _serve(self, service: float, pages: int, stream: object,
+               tag: ChargeTag, done: Event):
+        started = self.env.now
+        yield from self._arm.use(service, tag)
+        self.busy_time += service
+        self._record_wait(tag.key, self.env.now - started - service)
+        # The scheduled arm tracks the last *served* stream (the analytic
+        # FIFO arm tracks issue order, where the two coincide).
+        self._last_stream = stream
+        done.succeed(pages)
 
     @property
     def utilization_until_now(self) -> float:

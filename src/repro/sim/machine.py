@@ -14,7 +14,7 @@ local cache), aggregated per node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .core import Environment, Resource, SchedulingDiscipline
 
@@ -194,16 +194,19 @@ def make_processors(env: Environment, config: MachineConfig,
     ]
 
 
-def make_disks(env: Environment, disk_params, config: MachineConfig):
+def make_disks(env: Environment, disk_params, config: MachineConfig,
+               discipline: SchedulingDiscipline | None = None):
     """One disk per (node, processor) of ``config`` (the paper's layout).
 
     The single source of the disk-grid shape and naming, shared by
     context-owned and serving-shared substrates so they can never
-    desynchronize.
+    desynchronize.  All disks of a machine share one ``discipline``
+    instance, exactly like the processors (``None`` keeps the analytic
+    FIFO arm, the paper's model).
     """
     from .disk import Disk  # late import: disk depends only on core
     return [
-        [Disk(env, disk_params, name=f"d{node_id}.{d}")
+        [Disk(env, disk_params, name=f"d{node_id}.{d}", discipline=discipline)
          for d in range(config.processors_per_node)]
         for node_id in range(config.nodes)
     ]

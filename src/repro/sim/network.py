@@ -1,4 +1,4 @@
-"""Inter-node message-passing model.
+"""Inter-node message-passing model with a schedulable interconnect.
 
 Reproduces the paper's simulated network (Section 5.1.1):
 
@@ -9,11 +9,25 @@ CPU cost for sending 8 K bytes     10000 instr
 CPU cost for receiving 8 K bytes   10000 instr
 =================================  ============
 
-Because bandwidth is infinite, messages never queue in the network: every
-message arrives exactly ``delay`` after it is sent.  The *CPU* costs of
-sending and receiving are what make communication expensive, and they are
-charged to the sending/receiving node-scheduler threads by the engine (this
-module only computes them).
+With the paper's infinite bandwidth, messages never queue in the network:
+every message arrives exactly ``delay`` after it is sent.  The *CPU*
+costs of sending and receiving are what make communication expensive, and
+they are charged to the sending/receiving node-scheduler threads by the
+engine (this module only computes them).
+
+Setting :attr:`NetworkParams.bandwidth` to a finite byte rate turns the
+interconnect into a service resource like the processors and disks: each
+message holds the shared link (:class:`NetworkLink`, a capacity-1
+:class:`~repro.sim.core.Resource`) for its serialization time before the
+propagation delay, and the link's
+:class:`~repro.sim.core.SchedulingDiscipline` — the same ``"fifo"`` /
+``"fair"`` / ``"priority"`` registry the CPUs and disks use — orders the
+waiting messages by their :class:`~repro.sim.core.ChargeTag`.  Per-class
+link queueing is observable through :meth:`Network.wait_time_for`, which
+the serving layer reads back into per-class network queueing-delay
+metrics.  A :class:`NetworkLink` can be shared by several
+:class:`Network` overlays (the serving layer's per-query networks all
+charge the one physical interconnect).
 
 The network keeps global and per-purpose traffic statistics; the Section 5.3
 experiment ("FP requires 9 MB to be transferred versus 2.5 MB for DP") reads
@@ -23,12 +37,13 @@ them back through :meth:`Network.bytes_for`.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from .core import Environment
+from .core import (ChargeTag, DEFAULT_TAG, Environment, Resource,
+                   SchedulingDiscipline)
 
-__all__ = ["NetworkParams", "Message", "Network"]
+__all__ = ["NetworkParams", "Message", "Network", "NetworkLink"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +54,15 @@ class NetworkParams:
     send_instructions_per_8k: int = 10_000
     receive_instructions_per_8k: int = 10_000
     message_unit: int = 8 * 1024
+    #: link bandwidth in bytes/second; ``None`` is the paper's infinite
+    #: interconnect (no queueing, scheduling disciplines are moot).
+    bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError(
+                f"bandwidth must be positive (or None), got {self.bandwidth}"
+            )
 
     def send_instructions(self, nbytes: int) -> int:
         """CPU instructions the sender pays for an ``nbytes`` message."""
@@ -49,6 +73,12 @@ class NetworkParams:
         """CPU instructions the receiver pays for an ``nbytes`` message."""
         units = max(1, -(-nbytes // self.message_unit))
         return units * self.receive_instructions_per_8k
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Link holding time of an ``nbytes`` message (0 when infinite)."""
+        if self.bandwidth is None:
+            return 0.0
+        return nbytes / self.bandwidth
 
 
 @dataclass
@@ -69,18 +99,73 @@ class Message:
     sent_at: float = 0.0
 
 
-class Network:
-    """Infinite-bandwidth network with fixed end-to-end delay.
+class NetworkLink:
+    """The shared interconnect as a scheduled capacity-1 resource.
 
-    Each node registers a delivery callback (its scheduler's inbox).  The
-    network schedules the callback ``transmission_delay`` after the send.
+    One link instance models the physical interconnect; any number of
+    :class:`Network` overlays (one per query, under the serving layer)
+    transmit through it, so their messages queue behind *each other* under
+    the link's discipline.  Queueing time is accounted per
+    :class:`~repro.sim.core.ChargeTag` key, machine-wide.
     """
 
-    def __init__(self, env: Environment, params: Optional[NetworkParams] = None):
+    def __init__(self, env: Environment, params: NetworkParams,
+                 discipline: Optional[SchedulingDiscipline] = None):
+        if params.bandwidth is None:
+            raise ValueError("a NetworkLink needs finite bandwidth")
+        self.env = env
+        self.params = params
+        self.resource = Resource(env, capacity=1, name="net:link",
+                                 discipline=discipline)
+        # --- statistics -------------------------------------------------
+        self.busy_time = 0.0
+        self.wait_time = 0.0
+        #: ChargeTag key -> link queueing time of that class's messages.
+        self.wait_by_key: dict[str, float] = {}
+
+    @property
+    def discipline_name(self) -> str:
+        """Registry name of the discipline this link runs."""
+        return self.resource.discipline.name
+
+    def wait_time_for(self, key: str) -> float:
+        """Queued time accumulated by messages tagged with ``key``."""
+        return self.wait_by_key.get(key, 0.0)
+
+    def transmit(self, nbytes: int, tag: ChargeTag):
+        """Hold the link for the message's serialization; ``yield from``."""
+        service = self.params.serialization_time(nbytes)
+        started = self.env.now
+        yield from self.resource.use(service, tag)
+        self.busy_time += service
+        waited = self.env.now - started - service
+        if waited > 1e-15:
+            self.wait_time += waited
+            self.wait_by_key[tag.key] = self.wait_by_key.get(tag.key, 0.0) + waited
+
+
+class Network:
+    """Fixed-delay network, optionally throttled by a scheduled link.
+
+    Each node registers a delivery callback (its scheduler's inbox).  With
+    the paper's infinite bandwidth the network schedules the callback
+    ``transmission_delay`` after the send — no queueing, and message tags
+    are inert.  With finite bandwidth every message first serializes over
+    :attr:`link` (shared hardware, possibly spanning several overlays)
+    under the link's scheduling discipline, then propagates.
+    """
+
+    def __init__(self, env: Environment, params: Optional[NetworkParams] = None,
+                 link: Optional[NetworkLink] = None,
+                 discipline: Optional[SchedulingDiscipline] = None):
         self.env = env
         self.params = params or NetworkParams()
-        self._inboxes: dict[int, Callable[[Message], None]] = {}
+        #: the shared physical link (None on the infinite-bandwidth path).
+        self.link = link
+        if self.link is None and self.params.bandwidth is not None:
+            self.link = NetworkLink(env, self.params, discipline)
         # --- statistics -------------------------------------------------
+        self._inboxes: dict[int, Callable[[Message], None]] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_by_purpose: dict[str, int] = defaultdict(int)
@@ -92,9 +177,18 @@ class Network:
             raise ValueError(f"node {node_id} already registered")
         self._inboxes[node_id] = deliver
 
+    def wait_time_for(self, key: str) -> float:
+        """Link queueing time of messages tagged ``key`` (0 when infinite)."""
+        return 0.0 if self.link is None else self.link.wait_time_for(key)
+
     def send(self, src: int, dst: int, kind: str, payload: Any,
-             nbytes: int, purpose: str = "control") -> Message:
+             nbytes: int, purpose: str = "control",
+             tag: Optional[ChargeTag] = None) -> Message:
         """Send a message; it is delivered after the transmission delay.
+
+        ``tag`` carries the sending query's service-class attributes; it
+        orders the message on a finite-bandwidth link and is inert (like
+        CPU and disk tags under FIFO) on the infinite-bandwidth path.
 
         Local sends (``src == dst``) are rejected: intra-node communication
         goes through shared memory in the engine, never the network.
@@ -113,9 +207,17 @@ class Network:
 
         deliver = self._inboxes[dst]
 
-        def _deliver_process():
-            yield self.env.timeout(self.params.transmission_delay)
-            deliver(message)
+        if self.link is None:
+            def _deliver_process():
+                yield self.env.timeout(self.params.transmission_delay)
+                deliver(message)
+        else:
+            link = self.link
+
+            def _deliver_process():
+                yield from link.transmit(nbytes, tag or DEFAULT_TAG)
+                yield self.env.timeout(self.params.transmission_delay)
+                deliver(message)
 
         self.env.process(_deliver_process(), name=f"net:{kind}:{src}->{dst}")
         return message

@@ -17,7 +17,7 @@ exactly the paper's population, at simulable size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..optimizer.cost import CostModel

@@ -14,8 +14,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..catalog.partitioning import place_relation
 from ..catalog.relation import Relation
 from ..optimizer.cost import CardinalityEstimator, CostModel

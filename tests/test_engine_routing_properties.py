@@ -7,9 +7,6 @@ tests drive it directly (single-node contexts so deliveries are local) and
 assert the invariants the integration suite relies on.
 """
 
-import random
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

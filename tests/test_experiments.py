@@ -164,6 +164,17 @@ class TestFigureModules:
         # Overload handling actually shed something, somewhere.
         assert any(c.shed > 0 for c in result.overload_cells)
         assert "Service classes at MPL 8" in result.table()
+        # The I/O-heavy acceptance ordering: priority *disk* scheduling
+        # improves the interactive p95 over FIFO disks at MPL 8, batch
+        # throughput within 20%, and the gain shows up as interactive
+        # disk-queueing time (the per-resource breakdown).
+        io_fifo = result.io_cell("fifo", 8, "interactive")
+        io_prio = result.io_cell("priority", 8, "interactive")
+        assert io_prio.p95_latency < io_fifo.p95_latency
+        assert (result.io_cell("priority", 8, "batch").throughput
+                >= 0.8 * result.io_cell("fifo", 8, "batch").throughput)
+        assert io_prio.disk_wait < io_fifo.disk_wait
+        assert "I/O-heavy mix at MPL 8" in result.table()
 
 
 # ---------------------------------------------------------------------------

@@ -57,7 +57,8 @@ class TestJoinTree:
                      graph.edge_between("R2", "R3").selectivity),
             graph.edge_between("R1", "R2").selectivity,
         )
-        assert [l.relation.name for l in leaves(tree)] == ["R0", "R1", "R2", "R3"]
+        assert [leaf_node.relation.name
+                for leaf_node in leaves(tree)] == ["R0", "R1", "R2", "R3"]
         assert len(list(joins(tree))) == 3
         assert tree.relations == frozenset(["R0", "R1", "R2", "R3"])
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.engine import (
     ExecutionMetrics,
-    ExecutionParams,
     QueryExecutor,
     SynchronousPipeliningExecutor,
 )
