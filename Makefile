@@ -11,6 +11,8 @@
 #                         byte-for-byte against baselines/determinism.txt
 #   make bench-smoke      one pass of the workload + kernel benchmarks
 #   make bench-kernel     kernel events/sec only (writes BENCH_kernel.json)
+#   make bench-macro      macro-charge batching + parallel sweep bench
+#                         (writes BENCH_macro_charge.json)
 #   make bench-regression regenerate the kernel bench and fail on a >25%
 #                         events/s drop vs the committed BENCH_kernel.json
 #   make experiments      regenerate EXPERIMENTS.md (quick settings)
@@ -19,7 +21,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: check check-slow check-full lint determinism bench-smoke bench-kernel \
-	bench-regression experiments
+	bench-macro bench-regression experiments
 
 check:
 	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q
@@ -41,6 +43,9 @@ bench-smoke:
 
 bench-kernel:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_kernel.py
+
+bench-macro:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_macro_charge.py
 
 # The baseline is the *committed* BENCH_kernel.json (git show), not the
 # working-tree file: bench-smoke regenerates the working-tree copy, so

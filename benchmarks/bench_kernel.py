@@ -10,12 +10,21 @@ number in this repo — with two storms:
 
 Writes ``BENCH_kernel.json`` next to this file so the perf trajectory is
 machine-readable across PRs.  The ``reference`` block records the
-before/after of the PR that introduced the bench (same dev container):
-the ``__slots__``/fast-path pass over ``sim/core.py`` — a slotted
-``Environment``, a flattened ``Timeout.__init__`` (no ``super`` chain, no
-per-event f-string name) and an ``until``-free ``run()`` loop — lifted
-the timer storm from ~391k to ~608k events/s (+55%) and the FIFO
-resource storm from ~201k to ~280k events/s (+39%).
+before/after of each optimization pass (same dev container):
+
+* the PR-2 ``__slots__``/fast-path pass over ``sim/core.py`` — a slotted
+  ``Environment``, a flattened ``Timeout.__init__`` (no ``super`` chain,
+  no per-event f-string name) and an ``until``-free ``run()`` loop —
+  lifted the timer storm from ~391k to ~608k events/s (+55%) and the
+  FIFO resource storm from ~201k to ~280k events/s (+39%);
+* the macro-charge PR's callback-driven rewrite of the fair and priority
+  disciplines — one event per charge (a ``_FairCharge``/``_PrioSegment``
+  timeout that doubles as the park spot, no acquire/grant/preempt events,
+  no ``any_of`` gates, lazy-deleted cancelled heap entries, the deferred
+  fair grant riding ``Environment.defer`` instead of a scheduled event)
+  — lifted the fair storm from ~168k to ~359k events/s (+113%) and the
+  priority storm from ~141k to ~312k events/s (+121%), with FIFO
+  untouched (byte-identity) and the timer storm unchanged.
 """
 
 import json
@@ -24,11 +33,15 @@ from pathlib import Path
 
 from repro.sim.core import ChargeTag, Environment, Resource, make_discipline
 
-#: pre/post numbers of the sim/core.py fast-path pass, recorded when this
-#: bench was introduced (events/second, best of 3, dev container).
+#: pre/post numbers of the sim/core.py optimization passes, recorded when
+#: each landed (events/second, best of 3, dev container): the PR-2
+#: ``__slots__`` pass (timer/fifo) and the macro-charge PR's
+#: callback-driven fair/priority rewrite.
 REFERENCE = {
     "timer": {"before": 391_182, "after": 608_267},
     "resource_fifo": {"before": 200_819, "after": 280_162},
+    "resource_fair": {"before": 168_265, "after": 358_611},
+    "resource_priority": {"before": 141_023, "after": 311_691},
 }
 
 OUTPUT = Path(__file__).with_name("BENCH_kernel.json")

@@ -6,6 +6,11 @@ baseline and fails when any ``events_per_second`` entry dropped by more
 than ``--max-drop`` (default 25%).  Improvements and small fluctuations
 pass; a real kernel regression does not.
 
+``--require`` names entries that must be present in *both* files — the
+scheduling-discipline hot paths (``resource_fair``/``resource_priority``)
+are gated explicitly, so silently dropping a discipline from the bench
+(rather than regressing it) also fails the job.
+
 Usage::
 
     python scripts/check_bench_regression.py \\
@@ -18,18 +23,36 @@ import json
 import sys
 from pathlib import Path
 
+#: entries every baseline and fresh run must carry: the timer storm and
+#: one resource storm per registered scheduling discipline.
+REQUIRED = ("timer", "resource_fifo", "resource_fair", "resource_priority")
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, type=Path)
     parser.add_argument("--fresh", required=True, type=Path)
     parser.add_argument("--max-drop", type=float, default=0.25)
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=list(REQUIRED),
+        help="entries that must exist in both files",
+    )
     args = parser.parse_args()
 
     baseline = json.loads(args.baseline.read_text())["events_per_second"]
     fresh = json.loads(args.fresh.read_text())["events_per_second"]
 
     failed = False
+    for name in args.require:
+        for label, entries in (("baseline", baseline), ("fresh", fresh)):
+            if name not in entries:
+                print(
+                    f"FAIL {name}: required entry missing from the "
+                    f"{label} benchmark output"
+                )
+                failed = True
     for name, before in sorted(baseline.items()):
         after = fresh.get(name)
         if after is None:

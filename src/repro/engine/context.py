@@ -158,8 +158,15 @@ class NodeState:
                         )
 
     def total_queued_activations(self) -> int:
-        """Load indicator used by the steal protocol (provider ranking)."""
-        return sum(qs.total_queued for qs in self.queue_sets.values())
+        """Load indicator used by the steal protocol (provider ranking).
+
+        Read on every idle signal and broker snapshot; the per-set counts
+        are O(1) and the plain loop avoids generator overhead.
+        """
+        total = 0
+        for queue_set in self.queue_sets.values():
+            total += queue_set._queued
+        return total
 
 
 class ExecutionContext:

@@ -114,6 +114,12 @@ class QueryExecutor:
     def collect(self, context: ExecutionContext) -> ExecutionResult:
         metrics = context.metrics
         metrics.thread_count = sum(len(n.threads) for n in context.nodes)
+        # Derived (not live-accumulated): per-thread busy totals sum in a
+        # fixed order, so both charge quantums produce the identical float.
+        metrics.thread_busy_time = sum(
+            thread.busy_time for node in context.nodes
+            for thread in node.threads
+        )
         metrics.result_tuples = context.result_sink.tuples
         metrics.data_activations = sum(
             channel.activations_emitted for channel in context.channels.values()

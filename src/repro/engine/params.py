@@ -99,6 +99,25 @@ class ExecutionParams:
     #: than ``cross_steal_imbalance`` times the starving node's load.
     cross_steal_imbalance: float = 2.0
 
+    # --- charge granularity (macro-charges) ---------------------------------
+    #: how execution threads turn CPU work into kernel charges:
+    #:
+    #: * ``"tuple"`` (default): one :meth:`~repro.sim.core.Resource.use`
+    #:   per cost component (activation overhead, per-tuple work, output
+    #:   routing, async-I/O init ...) — the seed behaviour, byte-identical
+    #:   figure outputs;
+    #: * ``"batched"``: consecutive components accumulate into one
+    #:   *macro-charge* per whole bucket/page batch, flushed before any
+    #:   externally visible action (queue push/pop, disk issue, hash-table
+    #:   insert, idle signal, steal-protocol decision point) so every
+    #:   observable event still happens at exactly the virtual time it
+    #:   does under ``"tuple"`` — single-query FIFO runs are
+    #:   byte-identical by construction, and the kernel processes a
+    #:   fraction of the events.  Under multiprogramming the disciplines
+    #:   see coarser charges (a macro-charge is still preempted/split by
+    #:   the priority discipline mid-flight and conserves total service).
+    charge_quantum: str = "tuple"
+
     # --- local scheduling costs --------------------------------------------
     #: thread <-> local scheduler signalling (operating-system signals).
     signal_instructions: int = 2000
@@ -148,6 +167,11 @@ class ExecutionParams:
         if self.io_multiplex_window < 1:
             raise ValueError(
                 f"io_multiplex_window must be >= 1, got {self.io_multiplex_window}"
+            )
+        if self.charge_quantum not in ("tuple", "batched"):
+            raise ValueError(
+                f"unknown charge_quantum {self.charge_quantum!r}; "
+                "known: ['tuple', 'batched']"
             )
         for field_name in ("cpu_discipline", "disk_discipline",
                            "net_discipline"):

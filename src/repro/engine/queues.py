@@ -135,7 +135,7 @@ class OperatorQueueSet:
     non-empty queues incrementally via the push/pop wrappers.
     """
 
-    __slots__ = ("op_id", "node_id", "queues", "_non_empty",
+    __slots__ = ("op_id", "node_id", "queues", "_non_empty", "_queued",
                  "on_push", "blocked")
 
     def __init__(self, op_id: int, node_id: int, thread_count: int, capacity: int):
@@ -146,6 +146,7 @@ class OperatorQueueSet:
             for index in range(thread_count)
         ]
         self._non_empty = 0
+        self._queued = 0
         self.blocked = False
         #: callback(queue) invoked after every successful push (wakes idle
         #: threads, re-arms end detection); installed by the node state.
@@ -164,7 +165,11 @@ class OperatorQueueSet:
 
     @property
     def total_queued(self) -> int:
-        return sum(len(q) for q in self.queues)
+        """Queued activations across the member queues, maintained
+        incrementally: the steal protocol and the cross-query broker read
+        this on every idle signal, so an O(queues) recomputation was one
+        of the serving layer's hottest paths."""
+        return self._queued
 
     @property
     def total_queued_bytes(self) -> int:
@@ -184,6 +189,7 @@ class OperatorQueueSet:
         queue = self.queues[queue_index]
         was_empty = queue.is_empty
         queue.push(activation, force=force)
+        self._queued += 1
         if was_empty:
             self._non_empty += 1
         if self.on_push is not None:
@@ -193,6 +199,7 @@ class OperatorQueueSet:
         """Pop from one member queue, maintaining the non-empty count."""
         queue = self.queues[queue_index]
         activation = queue.pop()
+        self._queued -= 1
         if queue.is_empty:
             self._non_empty -= 1
         return activation
@@ -202,6 +209,7 @@ class OperatorQueueSet:
         queue = self.queues[queue_index]
         was_non_empty = not queue.is_empty
         stolen = queue.pop_tail_batch(count)
+        self._queued -= len(stolen)
         if was_non_empty and queue.is_empty:
             self._non_empty -= 1
         return stolen

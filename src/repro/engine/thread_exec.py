@@ -20,6 +20,21 @@ The two defining mechanisms implemented here:
   describes.  ``ProcessAnotherActivation`` never consumes the same
   operator (avoiding immediate re-blocking) and nesting is bounded by
   ``max_suspension_depth``.
+
+**Macro-charges** (``ExecutionParams.charge_quantum = "batched"``): in the
+default ``"tuple"`` mode every cost component (activation overhead,
+per-tuple work, output routing, async-I/O init) is its own kernel charge —
+one :class:`~repro.sim.core.Resource` event each.  Batched mode
+accumulates consecutive components into one aggregate charge per
+bucket/page batch and *flushes* it before any externally visible action —
+a queue pop/push, a disk issue, a hash-table insert, an idle signal, an
+end-detection trigger, a steal-protocol decision point, or polling an
+asynchronous read.  Every observable action therefore happens at exactly
+the virtual time it does in tuple mode (single-query FIFO runs are
+byte-identical by construction) while the kernel processes a fraction of
+the events; under multiprogramming the scheduling disciplines simply see
+coarser charges (the priority discipline still splits an in-flight
+macro-charge at preemption, conserving total service).
 """
 
 from __future__ import annotations
@@ -62,6 +77,13 @@ class ExecutionThread:
         #: signal accounting: the thread pays the scheduler-signal cost
         #: when it *becomes* idle, not on every fruitless wakeup.
         self._worked_since_idle = True
+        #: macro-charge accumulator (virtual seconds); only ever non-zero
+        #: in batched mode, between two visibility boundaries.
+        self._pending = 0.0
+        #: absolute completion instant of the pending macro-charge,
+        #: replaying the per-component float additions bit-exactly.
+        self._target = 0.0
+        self._batched = context.params.charge_quantum == "batched"
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -91,13 +113,53 @@ class ExecutionThread:
         and this degenerates to a plain timeout.  Under multiprogramming,
         time spent queued behind another query's charge is recorded as
         ``cpu_contention_time`` (it is neither busy nor idle time).
+
+        In batched mode the seconds accumulate into the thread's pending
+        macro-charge instead (per-component conversion and busy-time
+        accounting stay identical to tuple mode); :meth:`_flush` pays
+        them as one aggregate charge at the next visibility boundary.
         """
+        # ``metrics.thread_busy_time`` is derived from the per-thread
+        # totals at collect time: a live global accumulator would sum in
+        # chronological interleaving order, which differs between charge
+        # quantums by float ulps.
         seconds = self.context.instructions_time(instructions)
         self.busy_time += seconds
-        self.context.metrics.thread_busy_time += seconds
+        if self._batched:
+            # Replay the exact additions the separate timeouts would
+            # perform, so the flush completes at the identical float.
+            if self._pending == 0.0:
+                self._target = self.context.env.now + seconds
+            else:
+                self._target = self._target + seconds
+            self._pending += seconds
+            return
         started = self.context.env.now
         yield from self.processor.use(seconds, self.context.charge_tag)
         waited = self.context.env.now - started - seconds
+        if waited > 1e-12:
+            self.contention_time += waited
+            self.context.metrics.cpu_contention_time += waited
+
+    def _flush(self):
+        """Pay the pending macro-charge (a no-op outside batched mode).
+
+        Called before every externally visible action — queue traffic,
+        disk issues, store inserts, idle/steal signals, end detection,
+        asynchronous-read polls — so every observable action happens at
+        the *bit-identical* virtual time it does in tuple mode: the
+        accumulated target replays the component timeouts' float
+        additions and :meth:`~repro.sim.core.Resource.use_until` lands
+        the uncontended-FIFO completion on that exact float.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = 0.0
+        started = self.context.env.now
+        yield from self.processor.use_until(pending, self.context.charge_tag,
+                                            self._target)
+        waited = self.context.env.now - started - pending
         if waited > 1e-12:
             self.contention_time += waited
             self.context.metrics.cpu_contention_time += waited
@@ -117,14 +179,25 @@ class ExecutionThread:
         """
         context = self.context
         node = self.node
+        ops = context.ops
+        assigned = self.assigned_ops
+        channels = context.channels
+        node_id = node.node_id
+        # The checks are inlined from ``context.is_op_selectable`` with
+        # the cheapest, most selective guard first (the incrementally
+        # maintained non-empty count): selection runs once per processed
+        # activation, the engine's hottest non-kernel loop.
         # Pass 1: primary queues.
         for op_id, queue_set in node.queue_sets.items():
-            if op_id == exclude_op:
+            if not queue_set._non_empty or op_id == exclude_op:
                 continue
-            runtime = context.ops[op_id]
-            if not self._allowed(runtime):
+            if assigned is not None and op_id not in assigned:
                 continue
-            if not context.is_op_selectable(node, runtime):
+            runtime = ops[op_id]
+            if runtime.terminated or runtime.blocked:
+                continue
+            channel = channels.get((node_id, op_id))
+            if channel is not None and channel.stalled:
                 continue
             queue = queue_set.queues[self.index]
             if not queue.is_empty:
@@ -133,12 +206,15 @@ class ExecutionThread:
                 return activation, queue
         # Pass 2: any queue of the node.
         for op_id, queue_set in node.queue_sets.items():
-            if op_id == exclude_op:
+            if not queue_set._non_empty or op_id == exclude_op:
                 continue
-            runtime = context.ops[op_id]
-            if not self._allowed(runtime):
+            if assigned is not None and op_id not in assigned:
                 continue
-            if not context.is_op_selectable(node, runtime):
+            runtime = ops[op_id]
+            if runtime.terminated or runtime.blocked:
+                continue
+            channel = channels.get((node_id, op_id))
+            if channel is not None and channel.stalled:
                 continue
             queue_index = queue_set.first_non_empty(self.index + 1)
             if queue_index is not None:
@@ -197,6 +273,10 @@ class ExecutionThread:
         if self._worked_since_idle:
             self._worked_since_idle = False
             yield from self._charge(context.params.signal_instructions)
+            # Macro-charge boundary: the re-check pops queues, and the
+            # idle signal below feeds the steal protocol/broker.
+            if self._pending:
+                yield from self._flush()
             picked = self._select()
             if picked is not None:
                 yield from self._execute(picked, depth=0)
@@ -235,6 +315,10 @@ class ExecutionThread:
         else:
             yield from self._run_probe(activation, runtime)
 
+        # Macro-charge boundary: end detection must observe the counters
+        # at the virtual time all of this activation's work is paid for.
+        if self._pending:
+            yield from self._flush()
         runtime.activations_processed += 1
         context.metrics.activations_processed += 1
         runtime.outstanding -= 1
@@ -273,12 +357,18 @@ class ExecutionThread:
                 tag=context.charge_tag,
             )
 
+        yield from self._flush()  # macro-charge boundary: disk issue
         inflight: list[tuple[TriggerActivation, object]] = [
             (activation, issue(activation))
         ]
         yield from self._charge(params.disk.async_init_instructions)
 
         while inflight:
+            # Macro-charge boundary: polling ``handle.done`` is
+            # time-sensitive — the batch accumulated so far must be paid
+            # before observing the disks.
+            if self._pending:
+                yield from self._flush()
             ready_index = next(
                 (i for i, (_, handle) in enumerate(inflight) if handle.done),
                 None,
@@ -297,6 +387,7 @@ class ExecutionThread:
                             overhead += cost.foreign_queue_penalty_instructions
                             context.metrics.foreign_queue_consumptions += 1
                         yield from self._charge(overhead)
+                        yield from self._flush()  # boundary: disk issue
                         inflight.append((extra, issue(extra)))
                         yield from self._charge(
                             params.disk.async_init_instructions
@@ -310,6 +401,10 @@ class ExecutionThread:
                 runtime.tuples_out += output
                 yield from self._route_output(runtime, output)
                 if trigger is not activation:
+                    # Boundary: absorbed triggers complete their whole
+                    # lifecycle here, including end detection.
+                    if self._pending:
+                        yield from self._flush()
                     runtime.activations_processed += 1
                     context.metrics.activations_processed += 1
                     runtime.outstanding -= 1
@@ -339,6 +434,7 @@ class ExecutionThread:
                         overhead += cost.foreign_queue_penalty_instructions
                         context.metrics.foreign_queue_consumptions += 1
                     yield from self._charge(overhead)
+                    yield from self._flush()  # boundary: disk issue
                     inflight.append((trigger, issue(trigger)))
                     yield from self._charge(params.disk.async_init_instructions)
                     continue
@@ -353,6 +449,10 @@ class ExecutionThread:
         yield from self._charge(
             activation.tuples * cost.build_instructions_per_tuple
         )
+        # Macro-charge boundary: the store is shared by every thread of
+        # this query (and its watermark by admission control).
+        if self._pending:
+            yield from self._flush()
         # Single-query mode keeps the strict chain-fits-in-memory check;
         # under a shared substrate a racing concurrent build may beat the
         # admission estimate, so the store degrades to unreserved
@@ -402,6 +502,10 @@ class ExecutionThread:
         """Push output tuples into the operator's channel on this node."""
         if output <= 0:
             return
+        # Macro-charge boundary: the push lands in consumer queues (and
+        # possibly on the network) at a specific virtual time.
+        if self._pending:
+            yield from self._flush()
         channel = self.context.channels[(self.node.node_id, runtime.op_id)]
         instructions = channel.push_tuples(output)
         if instructions:

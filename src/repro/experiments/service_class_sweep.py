@@ -28,6 +28,21 @@ result: at MPL >= 8 the interactive class's p95 improves strictly under
 ``"priority"`` disk scheduling relative to FIFO, batch throughput stays
 within 20%, and the per-class resource-wait breakdown shows the saved
 time coming out of the interactive class's *disk* queueing.
+
+A *finite-bandwidth* column closes the loop on the third resource: the
+paper's interconnect is infinite (messages never queue, the network
+discipline is inert), so this column re-runs the class mix with
+``NetworkParams.bandwidth`` set to real numbers, sweeping **net
+discipline × bandwidth** over the shared
+:class:`~repro.sim.network.NetworkLink`.  As the link tightens, per-class
+``net_wait`` becomes material; class-aware link scheduling then keeps
+the interactive class's share of that queueing below FIFO's.
+
+Every cell of the grid is an independent simulation, so the sweep fans
+cells across cores with :func:`repro.experiments.parallel.parallel_map`
+(``processes=``/``--parallel``), and ``charge_quantum="batched"`` runs
+the engine in macro-charge mode — together the batched+parallel
+configuration that makes big-MPL sweeps wall-clock cheap.
 """
 
 from __future__ import annotations
@@ -40,13 +55,15 @@ from ..catalog.skew import SkewSpec
 from ..serving import (AdmissionPolicy, ArrivalSpec, BATCH, INTERACTIVE,
                        WorkloadDriver, WorkloadSpec)
 from ..sim.disk import DiskParams
+from ..sim.network import NetworkParams
 from ..workloads.scenarios import pipeline_chain_scenario
 from .config import ExperimentOptions, scaled_execution_params
+from .parallel import parallel_map
 from .reporting import format_table
 
 __all__ = ["ServiceClassSweepResult", "run", "PAPER_EXPECTATION",
-           "DISCIPLINES", "MPL_LEVELS", "IO_MPL_LEVELS",
-           "io_heavy_plans", "io_heavy_params"]
+           "DISCIPLINES", "MPL_LEVELS", "IO_MPL_LEVELS", "NET_MPL",
+           "NET_BANDWIDTHS", "io_heavy_plans", "io_heavy_params"]
 
 #: scheduling disciplines under comparison (CPU and disk sweeps alike).
 DISCIPLINES = ("fifo", "fair", "priority")
@@ -58,6 +75,13 @@ IO_MPL_LEVELS = (8,)
 #: disks are (latency/seek at 20x the scaled setting, i.e. one fifth of
 #: the paper's full-size values), making disk service the bottleneck.
 IO_DISK_SCALE = 0.2
+#: multiprogramming level of the finite-bandwidth link column.
+NET_MPL = 8
+#: link bandwidths (bytes/s) of the finite-bandwidth column: a loose
+#: link where queueing is visible but mild, and a tight one (comparable
+#: to a single disk arm's 6 MB/s) where the interconnect is a real
+#: bottleneck and the link discipline decides who eats the queueing.
+NET_BANDWIDTHS = (64e6, 8e6)
 
 PAPER_EXPECTATION = (
     "The paper's engine is FIFO and class-blind; the pluggable scheduler "
@@ -92,6 +116,9 @@ class ClassCell:
     cpu_wait: float = 0.0
     disk_wait: float = 0.0
     net_wait: float = 0.0
+    #: link bandwidth (bytes/s) of a finite-bandwidth cell; None on the
+    #: CPU/disk columns (the paper's infinite interconnect).
+    bandwidth: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +131,9 @@ class ServiceClassSweepResult:
     #: disk-discipline cells of the I/O-heavy mix (``discipline`` holds
     #: the *disk* discipline; the CPU stays FIFO to isolate the effect).
     io_cells: tuple[ClassCell, ...] = ()
+    #: net-discipline × bandwidth cells over the shared finite-bandwidth
+    #: link (``discipline`` holds the *net* discipline, CPU/disks FIFO).
+    net_cells: tuple[ClassCell, ...] = ()
 
     def cell(self, discipline: str, mpl: int,
              service_class: str) -> ClassCell:
@@ -127,6 +157,15 @@ class ServiceClassSweepResult:
                     and cell.service_class == service_class):
                 return cell
         raise KeyError((discipline, mpl, service_class))
+
+    def net_cell(self, discipline: str, bandwidth: float,
+                 service_class: str) -> ClassCell:
+        for cell in self.net_cells:
+            if (cell.discipline == discipline
+                    and cell.bandwidth == bandwidth
+                    and cell.service_class == service_class):
+                return cell
+        raise KeyError((discipline, bandwidth, service_class))
 
     @staticmethod
     def _disciplines_of(cells) -> list[str]:
@@ -197,6 +236,34 @@ class ServiceClassSweepResult:
                     title=(f"I/O-heavy mix at MPL {mpl}: disk discipline "
                            "(CPU stays FIFO)"),
                 ))
+        if self.net_cells:
+            net_classes = sorted({c.service_class for c in self.net_cells})
+            for bandwidth in sorted(
+                {c.bandwidth for c in self.net_cells}, reverse=True
+            ):
+                headers = ["Net discipline"]
+                for name in net_classes:
+                    headers += [f"{name} q/s", f"{name} p95",
+                                f"{name} net-wait"]
+                rows = []
+                net_at = [c for c in self.net_cells
+                          if c.bandwidth == bandwidth]
+                for discipline in self._disciplines_of(net_at):
+                    row = [discipline]
+                    for name in net_classes:
+                        cell = self.net_cell(discipline, bandwidth, name)
+                        row += [
+                            f"{cell.throughput:.2f}",
+                            f"{cell.p95_latency:.4f}",
+                            f"{cell.net_wait:.4f}",
+                        ]
+                    rows.append(row)
+                blocks.append(format_table(
+                    headers, rows,
+                    title=(f"Finite-bandwidth link at MPL {NET_MPL}, "
+                           f"{bandwidth / 1e6:.0f} MB/s: net discipline "
+                           "(CPU and disks stay FIFO)"),
+                ))
         return "\n\n".join(blocks)
 
 
@@ -250,7 +317,8 @@ def io_heavy_params(options: ExperimentOptions, disk_discipline: str,
     )
 
 
-def _cells_from(metrics, discipline: str, mpl: int) -> list[ClassCell]:
+def _cells_from(metrics, discipline: str, mpl: int,
+                bandwidth: Optional[float] = None) -> list[ClassCell]:
     cells = []
     for name in metrics.class_names():
         waits = metrics.class_resource_waits(name)
@@ -267,8 +335,96 @@ def _cells_from(metrics, discipline: str, mpl: int) -> list[ClassCell]:
             cpu_wait=waits["cpu"],
             disk_wait=waits["disk"],
             net_wait=waits["net"],
+            bandwidth=bandwidth,
         ))
     return cells
+
+
+@dataclass(frozen=True)
+class _CellSpec:
+    """One independent sweep cell, picklable for the process pool.
+
+    Carries scalars only: the worker rebuilds the (deterministic) plan
+    population and parameters from them, so a cell computes the exact
+    result it would in-process, in any process, in any order.
+    """
+
+    kind: str            # "closed" | "overload" | "io" | "net"
+    discipline: str
+    mpl: int
+    nodes: int
+    processors_per_node: int
+    base_tuples: int
+    queries: int
+    interactive_slo: float
+    scale: float
+    seed: int
+    charge_quantum: str
+    bandwidth: Optional[float] = None
+
+
+def _run_cell(spec: _CellSpec) -> list[ClassCell]:
+    """Execute one sweep cell (the ``parallel_map`` worker)."""
+    options = ExperimentOptions(scale=spec.scale, seed=spec.seed)
+    interactive = dataclasses.replace(INTERACTIVE,
+                                      latency_slo=spec.interactive_slo)
+    if spec.kind == "io":
+        plans, config = io_heavy_plans(
+            nodes=spec.nodes, processors_per_node=spec.processors_per_node,
+            base_tuples=spec.base_tuples,
+        )
+        params = io_heavy_params(options, disk_discipline=spec.discipline)
+        params = dataclasses.replace(params,
+                                     charge_quantum=spec.charge_quantum)
+    else:
+        plans, config = pipeline_chain_scenario(
+            nodes=spec.nodes, processors_per_node=spec.processors_per_node,
+            base_tuples=spec.base_tuples,
+        )
+        overrides = dict(cpu_discipline=spec.discipline)
+        if spec.kind == "net":
+            # The link is the variable: CPU and disks stay FIFO, the
+            # interconnect gets finite bandwidth + the swept discipline.
+            overrides = dict(cpu_discipline="fifo",
+                             net_discipline=spec.discipline)
+        params = scaled_execution_params(
+            scale=spec.scale,
+            skew=SkewSpec.uniform_redistribution(0.8),
+            seed=spec.seed,
+            charge_quantum=spec.charge_quantum,
+            **overrides,
+        )
+        if spec.kind == "net":
+            params = dataclasses.replace(params, network=NetworkParams(
+                transmission_delay=0.5e-3 * spec.scale,
+                bandwidth=spec.bandwidth,
+            ))
+    if spec.kind == "overload":
+        # Offered load far above capacity (a whole burst arrives in a
+        # fraction of one query's service time, MPL 1): admission must
+        # shed, not queue without bound.  Batch tolerates a queue up to
+        # its timeout; interactive is shed the moment its SLO can no
+        # longer be met.
+        batch = dataclasses.replace(BATCH, queue_timeout=0.4)
+        workload = WorkloadSpec(
+            queries=spec.queries,
+            arrival=ArrivalSpec(kind="bursty", rate=400.0, burst_size=16),
+            policy=AdmissionPolicy(max_multiprogramming=1,
+                                   deadline_shedding=True),
+            classes=((interactive, 1.0), (batch, 2.0)),
+            seed=spec.seed,
+        )
+    else:
+        workload = WorkloadSpec(
+            queries=spec.queries,
+            arrival=ArrivalSpec(kind="closed", population=spec.mpl),
+            policy=AdmissionPolicy(max_multiprogramming=spec.mpl),
+            classes=((interactive, 1.0), (BATCH, 2.0)),
+            seed=spec.seed,
+        )
+    metrics = WorkloadDriver(plans, config, workload, params).run().metrics
+    return _cells_from(metrics, spec.discipline, spec.mpl,
+                       bandwidth=spec.bandwidth)
 
 
 def run(options: Optional[ExperimentOptions] = None,
@@ -281,79 +437,66 @@ def run(options: Optional[ExperimentOptions] = None,
         overload: bool = True,
         io_sweep: bool = True,
         io_mpl_levels: Sequence[int] = IO_MPL_LEVELS,
-        io_base_tuples: Optional[int] = None) -> ServiceClassSweepResult:
+        io_base_tuples: Optional[int] = None,
+        net_sweep: bool = True,
+        net_bandwidths: Sequence[float] = NET_BANDWIDTHS,
+        charge_quantum: str = "tuple",
+        processes: Optional[int] = None) -> ServiceClassSweepResult:
     """Sweep discipline × MPL for an interactive/batch mix.
 
     ``io_sweep`` adds the I/O-heavy disk-discipline comparison (same
-    class mix, disk-dominated plan population, CPU pinned to FIFO).
+    class mix, disk-dominated plan population, CPU pinned to FIFO) and
+    ``net_sweep`` the finite-bandwidth net-discipline × bandwidth
+    column.  ``charge_quantum`` selects the engine's charge granularity
+    (``"batched"`` = macro-charges) and ``processes`` fans the
+    independent cells across worker processes (None = sequential,
+    0 = one per core) — results are identical either way.
     """
     options = options or ExperimentOptions()
-    plan, config = pipeline_chain_scenario(
-        nodes=nodes, processors_per_node=processors_per_node,
-        base_tuples=base_tuples,
-    )
-    interactive = dataclasses.replace(INTERACTIVE, latency_slo=interactive_slo)
-    classes = ((interactive, 1.0), (BATCH, 2.0))
+
+    def spec(kind: str, discipline: str, mpl: int,
+             bandwidth: Optional[float] = None,
+             tuples: Optional[int] = None) -> _CellSpec:
+        return _CellSpec(
+            kind=kind, discipline=discipline, mpl=mpl, nodes=nodes,
+            processors_per_node=processors_per_node,
+            base_tuples=tuples or base_tuples, queries=queries_per_cell,
+            interactive_slo=interactive_slo, scale=options.scale,
+            seed=options.seed, charge_quantum=charge_quantum,
+            bandwidth=bandwidth,
+        )
+
+    specs: list[_CellSpec] = []
+    for discipline in disciplines:
+        for mpl in mpl_levels:
+            specs.append(spec("closed", discipline, mpl))
+        if overload:
+            specs.append(spec("overload", discipline, 1))
+    if io_sweep:
+        for discipline in disciplines:
+            for mpl in io_mpl_levels:
+                specs.append(spec("io", discipline, mpl,
+                                  tuples=io_base_tuples or base_tuples))
+    if net_sweep:
+        for bandwidth in net_bandwidths:
+            for discipline in disciplines:
+                specs.append(spec("net", discipline, NET_MPL,
+                                  bandwidth=bandwidth))
+
+    results = parallel_map(_run_cell, specs, processes=processes)
+
     cells: list[ClassCell] = []
     overload_cells: list[ClassCell] = []
-    for discipline in disciplines:
-        params = scaled_execution_params(
-            scale=options.scale,
-            skew=SkewSpec.uniform_redistribution(0.8),
-            seed=options.seed,
-            cpu_discipline=discipline,
-        )
-        for mpl in mpl_levels:
-            spec = WorkloadSpec(
-                queries=queries_per_cell,
-                arrival=ArrivalSpec(kind="closed", population=mpl),
-                policy=AdmissionPolicy(max_multiprogramming=mpl),
-                classes=classes,
-                seed=options.seed,
-            )
-            metrics = WorkloadDriver(plan, config, spec, params).run().metrics
-            cells.extend(_cells_from(metrics, discipline, mpl))
-        if overload:
-            # Offered load far above capacity (a whole burst arrives in a
-            # fraction of one query's service time, MPL 1): admission
-            # must shed, not queue without bound.  Batch tolerates a
-            # queue up to its timeout; interactive is shed the moment its
-            # SLO can no longer be met.
-            batch = dataclasses.replace(BATCH, queue_timeout=0.4)
-            spec = WorkloadSpec(
-                queries=queries_per_cell,
-                arrival=ArrivalSpec(kind="bursty", rate=400.0, burst_size=16),
-                policy=AdmissionPolicy(max_multiprogramming=1,
-                                       deadline_shedding=True),
-                classes=((interactive, 1.0), (batch, 2.0)),
-                seed=options.seed,
-            )
-            metrics = WorkloadDriver(plan, config, spec, params).run().metrics
-            overload_cells.extend(_cells_from(metrics, discipline, mpl=1))
     io_cells: list[ClassCell] = []
-    if io_sweep:
-        io_plans, io_config = io_heavy_plans(
-            nodes=nodes, processors_per_node=processors_per_node,
-            base_tuples=io_base_tuples or base_tuples,
-        )
-        io_classes = ((interactive, 1.0), (BATCH, 2.0))
-        for discipline in disciplines:
-            params = io_heavy_params(options, disk_discipline=discipline)
-            for mpl in io_mpl_levels:
-                spec = WorkloadSpec(
-                    queries=queries_per_cell,
-                    arrival=ArrivalSpec(kind="closed", population=mpl),
-                    policy=AdmissionPolicy(max_multiprogramming=mpl),
-                    classes=io_classes,
-                    seed=options.seed,
-                )
-                metrics = WorkloadDriver(
-                    io_plans, io_config, spec, params
-                ).run().metrics
-                io_cells.extend(_cells_from(metrics, discipline, mpl))
+    net_cells: list[ClassCell] = []
+    buckets = {"closed": cells, "overload": overload_cells,
+               "io": io_cells, "net": net_cells}
+    for cell_spec, cell_list in zip(specs, results):
+        buckets[cell_spec.kind].extend(cell_list)
     return ServiceClassSweepResult(
         cells=tuple(cells), overload_cells=tuple(overload_cells),
         options=options, io_cells=tuple(io_cells),
+        net_cells=tuple(net_cells),
     )
 
 
@@ -368,10 +511,17 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI
     parser.add_argument("--queries", type=int, default=18)
     parser.add_argument("--quick", action="store_true",
                         help="small grid for smoke runs")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="fan cells across N processes (0 = per core)")
+    parser.add_argument("--quantum", choices=("tuple", "batched"),
+                        default="tuple",
+                        help="engine charge granularity (batched = "
+                             "macro-charges)")
     args = parser.parse_args(argv)
     options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
     kwargs = dict(nodes=args.nodes, processors_per_node=args.procs,
-                  base_tuples=args.tuples, queries_per_cell=args.queries)
+                  base_tuples=args.tuples, queries_per_cell=args.queries,
+                  charge_quantum=args.quantum, processes=args.parallel)
     if args.quick:
         kwargs.update(nodes=2, processors_per_node=2, base_tuples=1000,
                       queries_per_cell=10, mpl_levels=(8,))

@@ -27,6 +27,7 @@ drivers are where admission queueing appears (see the serving tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Sequence
 
 from ..catalog.skew import SkewSpec
@@ -34,6 +35,7 @@ from ..serving import AdmissionPolicy, ArrivalSpec, WorkloadDriver, WorkloadSpec
 from ..sim.machine import MachineConfig
 from ..workloads.plans import build_workload
 from .config import ExperimentOptions, scaled_execution_params
+from .parallel import parallel_map
 from .reporting import format_table
 
 __all__ = ["WorkloadSweepResult", "run", "PAPER_EXPECTATION",
@@ -115,58 +117,141 @@ class WorkloadSweepResult:
         return "\n\n".join(blocks)
 
 
+@dataclass(frozen=True)
+class _CellSpec:
+    """One independent (strategy, skew, MPL) cell, picklable for the pool."""
+
+    strategy: str
+    skew: float
+    mpl: int
+    nodes: int
+    processors_per_node: int
+    queries: int
+    plan_count: int
+    workload_queries: int
+    scale: float
+    seed: int
+    charge_quantum: str
+
+
+@lru_cache(maxsize=4)
+def _cached_plans(nodes: int, processors_per_node: int, plan_count: int,
+                  workload_queries: int, scale: float, seed: int):
+    """Per-process plan-population cache: the Section 5.1.2 compilation is
+    deterministic in these scalars, so workers rebuild it once each."""
+    from ..workloads.plans import WorkloadConfig
+    config = MachineConfig(nodes=nodes,
+                           processors_per_node=processors_per_node)
+    workload = build_workload(config, WorkloadConfig(
+        queries=workload_queries, scale=scale, seed=seed,
+    ))
+    return workload.plans[:plan_count], config
+
+
+def _cell_from(metrics, strategy: str, skew: float, mpl: int) -> SweepCell:
+    """One cell's observables — the single metrics→cell mapping, shared
+    by the spec worker and the explicit-plans path."""
+    return SweepCell(
+        strategy=strategy,
+        skew=skew,
+        mpl=mpl,
+        throughput=metrics.throughput(),
+        p50_latency=metrics.p50_latency,
+        p95_latency=metrics.p95_latency,
+        p99_latency=metrics.p99_latency,
+        mean_queueing_delay=metrics.mean_queueing_delay(),
+        cpu_contention=metrics.total_cpu_contention(),
+        steal_bytes=metrics.total_steal_bytes(),
+    )
+
+
+def _run_cell(spec: _CellSpec) -> SweepCell:
+    """Execute one sweep cell (the ``parallel_map`` worker)."""
+    plans, config = _cached_plans(
+        spec.nodes, spec.processors_per_node, spec.plan_count,
+        spec.workload_queries, spec.scale, spec.seed,
+    )
+    params = scaled_execution_params(
+        scale=spec.scale,
+        skew=(SkewSpec.uniform_redistribution(spec.skew) if spec.skew > 0
+              else SkewSpec.none()),
+        seed=spec.seed,
+        charge_quantum=spec.charge_quantum,
+    )
+    workload = WorkloadSpec(
+        queries=spec.queries,
+        arrival=ArrivalSpec(kind="closed", population=spec.mpl),
+        strategy=spec.strategy,
+        policy=AdmissionPolicy(max_multiprogramming=spec.mpl),
+        seed=spec.seed,
+    )
+    metrics = WorkloadDriver(plans, config, workload, params).run().metrics
+    return _cell_from(metrics, spec.strategy, spec.skew, spec.mpl)
+
+
 def run(options: Optional[ExperimentOptions] = None,
         mpl_levels: Sequence[int] = MPL_LEVELS,
         skew_levels: Sequence[float] = SKEW_LEVELS,
         strategies: Sequence[str] = STRATEGIES,
         nodes: int = 4, processors_per_node: int = 8,
         queries_per_cell: int = 16,
-        plans=None) -> WorkloadSweepResult:
+        plans=None,
+        charge_quantum: str = "tuple",
+        processes: Optional[int] = None) -> WorkloadSweepResult:
     """Sweep MPL × skew × strategy over a mixed plan population.
 
     ``plans`` defaults to the paper's Section 5.1.2 workload compiled for
     the sweep's machine, limited to ``options.plans`` entries; each
     submitted query draws its plan from the population, so every cell
-    mixes query shapes and sizes.
+    mixes query shapes and sizes.  ``charge_quantum`` selects the
+    engine's charge granularity (``"batched"`` = macro-charges) and
+    ``processes`` fans the independent cells across worker processes
+    (None = sequential, 0 = one per core); the per-cell results are
+    identical either way.
     """
     options = options or ExperimentOptions()
-    config = MachineConfig(nodes=nodes,
-                           processors_per_node=processors_per_node)
-    if plans is None:
-        plans = build_workload(
-            config, options.workload_config()
-        ).plans[:options.plans]
-    cells: list[SweepCell] = []
-    for skew in skew_levels:
-        params = scaled_execution_params(
-            scale=options.scale,
-            skew=(SkewSpec.uniform_redistribution(skew) if skew > 0
-                  else SkewSpec.none()),
-            seed=options.seed,
+    if plans is not None:
+        # An explicit plan population cannot be shipped to workers (it
+        # may be arbitrary, unpicklable objects): run it in-process.
+        config = MachineConfig(nodes=nodes,
+                               processors_per_node=processors_per_node)
+        cells = []
+        for skew in skew_levels:
+            params = scaled_execution_params(
+                scale=options.scale,
+                skew=(SkewSpec.uniform_redistribution(skew) if skew > 0
+                      else SkewSpec.none()),
+                seed=options.seed,
+                charge_quantum=charge_quantum,
+            )
+            for strategy in strategies:
+                for mpl in mpl_levels:
+                    spec = WorkloadSpec(
+                        queries=queries_per_cell,
+                        arrival=ArrivalSpec(kind="closed", population=mpl),
+                        strategy=strategy,
+                        policy=AdmissionPolicy(max_multiprogramming=mpl),
+                        seed=options.seed,
+                    )
+                    metrics = WorkloadDriver(
+                        plans, config, spec, params
+                    ).run().metrics
+                    cells.append(_cell_from(metrics, strategy, skew, mpl))
+        return WorkloadSweepResult(cells=tuple(cells), options=options)
+    specs = [
+        _CellSpec(
+            strategy=strategy, skew=skew, mpl=mpl, nodes=nodes,
+            processors_per_node=processors_per_node,
+            queries=queries_per_cell, plan_count=options.plans,
+            workload_queries=options.workload_queries,
+            scale=options.scale, seed=options.seed,
+            charge_quantum=charge_quantum,
         )
-        for strategy in strategies:
-            for mpl in mpl_levels:
-                spec = WorkloadSpec(
-                    queries=queries_per_cell,
-                    arrival=ArrivalSpec(kind="closed", population=mpl),
-                    strategy=strategy,
-                    policy=AdmissionPolicy(max_multiprogramming=mpl),
-                    seed=options.seed,
-                )
-                result = WorkloadDriver(plans, config, spec, params).run()
-                metrics = result.metrics
-                cells.append(SweepCell(
-                    strategy=strategy,
-                    skew=skew,
-                    mpl=mpl,
-                    throughput=metrics.throughput(),
-                    p50_latency=metrics.p50_latency,
-                    p95_latency=metrics.p95_latency,
-                    p99_latency=metrics.p99_latency,
-                    mean_queueing_delay=metrics.mean_queueing_delay(),
-                    cpu_contention=metrics.total_cpu_contention(),
-                    steal_bytes=metrics.total_steal_bytes(),
-                ))
+        for skew in skew_levels
+        for strategy in strategies
+        for mpl in mpl_levels
+    ]
+    cells = parallel_map(_run_cell, specs, processes=processes)
     return WorkloadSweepResult(cells=tuple(cells), options=options)
 
 
@@ -180,10 +265,17 @@ def main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI
     parser.add_argument("--queries", type=int, default=16)
     parser.add_argument("--quick", action="store_true",
                         help="small grid for smoke runs")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="fan cells across N processes (0 = per core)")
+    parser.add_argument("--quantum", choices=("tuple", "batched"),
+                        default="tuple",
+                        help="engine charge granularity (batched = "
+                             "macro-charges)")
     args = parser.parse_args(argv)
     options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
     kwargs = dict(nodes=args.nodes, processors_per_node=args.procs,
-                  queries_per_cell=args.queries)
+                  queries_per_cell=args.queries,
+                  charge_quantum=args.quantum, processes=args.parallel)
     if args.quick:
         kwargs.update(nodes=2, processors_per_node=4,
                       queries_per_cell=8, mpl_levels=(1, 4),

@@ -55,6 +55,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from functools import partial
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -289,13 +290,15 @@ class Environment:
         print(env.now)
     """
 
-    __slots__ = ("_now", "_heap", "_counter", "_active")
+    __slots__ = ("_now", "_heap", "_counter", "_active", "_deferred")
 
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._active = True
+        #: same-instant deferred callbacks (see :meth:`defer`).
+        self._deferred: list[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -309,6 +312,19 @@ class Environment:
 
     def _schedule_event(self, event: Event, priority: int) -> None:
         self._schedule_at(self._now, event, priority)
+
+    def defer(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after every normal-priority event of the
+        *current* virtual instant has fired.
+
+        Equivalent to scheduling a :data:`LOW`-priority event at ``now``
+        (the ordering the fair-share grant sweep depends on) without the
+        heap traffic: the run loop drains the deferral list before it
+        pops an event of a later instant — or a same-instant LOW event —
+        off the heap.  It is the kernel's cheapest "after this cascade"
+        hook, used once per completion instant by the fair discipline.
+        """
+        self._deferred.append(callback)
 
     # -- public API -------------------------------------------------------
 
@@ -332,12 +348,25 @@ class Environment:
 
         The unbounded path is the simulation's hottest loop (every event of
         every query flows through it), so it binds the heap and ``heappop``
-        to locals and skips the ``until`` comparison entirely.
+        to locals and skips the ``until`` comparison entirely.  Deferred
+        same-instant callbacks (:meth:`defer`) drain whenever the next
+        heap entry would move past them — a later instant, a same-instant
+        LOW event, or a drained heap.
         """
         heap = self._heap
         pop = heapq.heappop
+        deferred = self._deferred
         if until is None:
-            while heap:
+            while heap or deferred:
+                if deferred and (
+                    not heap or heap[0][0] > self._now
+                    or (heap[0][0] == self._now and heap[0][1] >= LOW)
+                ):
+                    pending, self._deferred = deferred, []
+                    deferred = self._deferred
+                    for callback in pending:
+                        callback()
+                    continue
                 when, _prio, _seq, event = pop(heap)
                 self._now = when
                 event._fired = True
@@ -345,7 +374,16 @@ class Environment:
                 for callback in callbacks:
                     callback(event)
             return self._now
-        while heap:
+        while heap or deferred:
+            if deferred and (
+                not heap or heap[0][0] > self._now
+                or (heap[0][0] == self._now and heap[0][1] >= LOW)
+            ):
+                pending, self._deferred = deferred, []
+                deferred = self._deferred
+                for callback in pending:
+                    callback()
+                continue
             if heap[0][0] > until:
                 self._now = until
                 return until
@@ -412,7 +450,7 @@ class Environment:
         return gate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChargeTag:
     """Scheduling attributes of one CPU charge.
 
@@ -492,22 +530,74 @@ class FIFODiscipline(SchedulingDiscipline):
         return len(resource._waiters)
 
 
+class _Park(Event):
+    """A never-scheduled parking spot for a waiting charge's callbacks.
+
+    The owning process's resume callback lands in :attr:`callbacks` when
+    the charge's ``use`` generator yields it; granting the charge
+    *migrates* those callbacks onto the service timeout instead of ever
+    triggering the park.  Only the fields the process machinery touches
+    exist — no environment, no name, no value plumbing.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self.callbacks = []
+        self._triggered = False
+        self._fired = False
+
+
+class _FairCharge(Event):
+    """One fair charge: park spot and service timeout in a single event.
+
+    While the charge waits, the event is *unscheduled* — only its
+    callback list (holding the owner's resume) matters; the grant then
+    converts it in place into its own service timeout.  The completion
+    callback (:meth:`FairShareDiscipline._on_service_end`, one shared
+    bound method per resource) reads the bookkeeping fields off the
+    event it receives — one object per charge, no closures, nothing to
+    migrate.
+    """
+
+    __slots__ = ("resource", "fkey", "delay")
+
+    def __init__(self, env: "Environment", delay: float,
+                 resource: "Resource", key: str):
+        self.env = env
+        self.name = "fair-charge"
+        self.callbacks = []
+        self._ok = True
+        self._fired = False
+        self._triggered = False
+        self._value = None
+        self.resource = resource
+        self.fkey = key
+        self.delay = delay
+
+
 class _FairState:
     """Per-resource state of :class:`FairShareDiscipline`."""
 
-    __slots__ = ("vtime", "finish", "active", "idle_at", "heap")
+    __slots__ = ("vtime", "classes", "heap", "grants_due", "grant_cb",
+                 "service_cb")
 
     def __init__(self) -> None:
         #: virtual time: the largest pass admitted to service.
         self.vtime = 0.0
-        #: class key -> cumulative pass (finish tag of its latest charge).
-        self.finish: dict[str, float] = {}
-        #: class key -> outstanding charges (waiting + in service).
-        self.active: dict[str, int] = {}
-        #: class key -> virtual instant the class last went idle.
-        self.idle_at: dict[str, float] = {}
-        #: waiting charges as (pass, seq, grant event).
-        self.heap: list[tuple[float, int, Event]] = []
+        #: class key -> [cumulative pass, outstanding charges, idle-at
+        #: instant or None] — one dict probe per charge instead of three.
+        self.classes: dict[str, list] = {}
+        #: waiting charges as (pass, seq, charge, parked_at); the charge
+        #: event is unscheduled until the grant converts it (see
+        #: :class:`_FairCharge`).
+        self.heap: list[tuple[float, int, "_FairCharge", float]] = []
+        #: slots freed this instant, granted by one coalesced deferred sweep.
+        self.grants_due = 0
+        #: the zero-arg sweep closure handed to ``Environment.defer``.
+        self.grant_cb = None
+        #: shared completion callback (one bound method per resource).
+        self.service_cb = None
 
 
 class FairShareDiscipline(SchedulingDiscipline):
@@ -528,102 +618,194 @@ class FairShareDiscipline(SchedulingDiscipline):
     pass is fixed, every later charge arrives with a strictly larger
     pass for its own class, and passes advance with the service a class
     receives — so the minimum-pass rule reaches every waiter.
+
+    Hot path: the whole charge lifecycle runs callback-side, costing one
+    scheduled event per charge.  A :class:`_FairCharge` is both the park
+    spot and the service timeout: it carries its own bookkeeping fields,
+    the owner's resume callback rides on it from the start, and a grant
+    merely schedules it — so neither parking nor granting allocates or
+    migrates anything.
+    Freed slots are handed out by a deferred sweep at the *same*
+    virtual instant — after every same-instant normal-priority event, so
+    a charge stream whose next charge follows back-to-back (the engine's
+    dominant pattern, including indirectly through a disk or network
+    completion) gets to enqueue before the grant and the slot goes to
+    the smallest pass among all same-instant contenders.  The sweep runs
+    off :meth:`Environment.defer` — armed at most once per instant
+    however many charges complete then, with no heap traffic at all.
     """
 
     name = "fair"
 
     def attach(self, resource: "Resource") -> None:
-        resource._sched = _FairState()
+        state = _FairState()
+        state.grant_cb = partial(self._sweep, resource, state)
+        state.service_cb = self._on_service_end
+        resource._sched = state
 
     def use(self, resource: "Resource", delay: float,
             tag: ChargeTag) -> Generator:
         env = resource.env
         state: _FairState = resource._sched
         key = tag.key
-        start = state.finish.get(key, 0.0)
-        if not state.active.get(key):
-            idle_since = state.idle_at.get(key)
-            if (idle_since is None or env.now > idle_since) \
-                    and start < state.vtime:
-                # New or genuinely idle class: rejoin at the virtual time.
-                start = state.vtime
-        state.active[key] = state.active.get(key, 0) + 1
+        ent = state.classes.get(key)
+        if ent is None:
+            ent = state.classes[key] = [0.0, 0, None]
+        start, count, idle_since = ent
+        if not count and (idle_since is None or env._now > idle_since) \
+                and start < state.vtime:
+            # New or genuinely idle class: rejoin at the virtual time.
+            start = state.vtime
         finish = start + delay / tag.weight
-        state.finish[key] = finish
+        ent[0] = finish
+        ent[1] = count + 1
+        charge = _FairCharge(env, delay, resource, key)
+        charge.callbacks.append(state.service_cb)
         if resource.users < resource.capacity and not state.heap:
             resource.users += 1
             if finish > state.vtime:
                 state.vtime = finish
+            # Start serving now: the charge becomes its service timeout
+            # and the caller resumes straight off it (inlined
+            # ``_schedule_at`` — this is the per-charge hot path).
+            charge._triggered = True
+            heapq.heappush(env._heap, (env._now + delay, NORMAL,
+                                       next(env._counter), charge))
         else:
-            event = env.event(f"acquire:{resource.name}")
-            heapq.heappush(state.heap, (finish, next(resource._seq), event))
+            heapq.heappush(state.heap,
+                           (finish, next(resource._seq), charge, env._now))
             resource.waits += 1
-            started = env.now
-            yield event
-            resource.wait_time += env.now - started
-        try:
-            yield env.timeout(delay)
-            resource.busy_time += delay
-        finally:
-            remaining = state.active.get(key, 1) - 1
-            state.active[key] = remaining
-            if remaining == 0:
-                state.idle_at[key] = env.now
-            # Defer the grant to a LOW-priority event at the *same*
-            # virtual instant: a thread whose next charge follows
-            # back-to-back (the engine's dominant pattern) gets to enqueue
-            # it first, so the freed slot goes to the smallest pass among
-            # all same-instant contenders, not just the already-parked
-            # ones.  ``users`` stays counted until the grant resolves.
-            grant = Event(env, f"grant:{resource.name}")
-            grant._triggered = True
-            env._schedule_at(env.now, grant, LOW)
-            grant.callbacks.append(lambda _ev, r=resource: self._grant(r))
+        yield charge
 
-    def _grant(self, resource: "Resource") -> None:
+    def _on_service_end(self, charge: "_FairCharge") -> None:
+        """Bank the service and arm the grant sweep (shared callback).
+
+        Runs *before* the charge owner's resume callback (appended to the
+        same timeout after this one), so the owner observes fully updated
+        accounting — and the deferred sweep still runs after every
+        same-instant resume.
+        """
+        resource = charge.resource
         state: _FairState = resource._sched
-        if state.heap:
-            # Hand the slot to the smallest pass; ``users`` is unchanged
-            # (ownership transfer, as in FIFO release).
-            finish, _seq, event = heapq.heappop(state.heap)
+        env = resource.env
+        resource.busy_time += charge.delay
+        ent = state.classes[charge.fkey]
+        remaining = ent[1] - 1
+        ent[1] = remaining
+        if remaining == 0:
+            ent[2] = env._now
+        # Defer the grant to the sweep at the *same* virtual instant
+        # (``users`` stays counted until it runs); arm it only once
+        # however many charges complete now.
+        state.grants_due += 1
+        if state.grants_due == 1:
+            env._deferred.append(state.grant_cb)
+
+    def _sweep(self, resource: "Resource", state: _FairState) -> None:
+        """Grant every slot freed this instant, smallest pass first."""
+        due, state.grants_due = state.grants_due, 0
+        env = resource.env
+        heap = state.heap
+        if due == 1 and heap:
+            # The dominant case — one completion this instant, waiters
+            # present — skips the loop machinery entirely.
+            finish, _seq, charge, parked_at = heapq.heappop(heap)
             if finish > state.vtime:
                 state.vtime = finish
-            event.succeed()
-        else:
-            resource.users -= 1
-            if resource.users == 0:
-                # Fully idle: reset the virtual clock so a past busy
-                # period cannot penalize classes in the next one.
-                state.vtime = 0.0
-                state.finish.clear()
-                state.active.clear()
-                state.idle_at.clear()
+            resource.wait_time += env._now - parked_at
+            charge._triggered = True
+            heapq.heappush(env._heap, (env._now + charge.delay, NORMAL,
+                                       next(env._counter), charge))
+            return
+        for _ in range(due):
+            if heap:
+                # Hand the slot to the smallest pass; ``users`` is
+                # unchanged (ownership transfer, as in FIFO release).
+                finish, _seq, charge, parked_at = heapq.heappop(heap)
+                if finish > state.vtime:
+                    state.vtime = finish
+                resource.wait_time += env._now - parked_at
+                # Convert the parked charge into its service timeout in
+                # place: the owner's resume already rides on it.
+                charge._triggered = True
+                heapq.heappush(env._heap, (env._now + charge.delay, NORMAL,
+                                           next(env._counter), charge))
+            else:
+                resource.users -= 1
+        if resource.users == 0:
+            # Fully idle: reset the virtual clock so a past busy period
+            # cannot penalize classes in the next one.
+            state.vtime = 0.0
+            state.classes.clear()
 
     def queued(self, resource: "Resource") -> int:
         return len(resource._sched.heap)
 
 
-class _RunningCharge:
-    """One charge currently holding a slot under preemptive scheduling."""
+class _PrioCharge:
+    """One priority charge's lifecycle state (running *or* waiting)."""
 
-    __slots__ = ("priority", "seq", "preempt", "preempted")
+    __slots__ = ("priority", "seq", "remaining", "segment", "cur_seg",
+                 "pending_cbs", "seg_started", "parked_at", "waited")
 
-    def __init__(self, priority: int, seq: int, preempt: Event):
+    def __init__(self, priority: int, seq: int, remaining: float):
         self.priority = priority
         self.seq = seq
-        self.preempt = preempt
-        self.preempted = False
+        self.remaining = remaining
+        #: service-segment token: bumped on preemption, so the cancelled
+        #: segment's timeout lazily no-ops when it eventually fires.
+        self.segment = 0
+        #: the in-flight :class:`_PrioSegment` (None while waiting).  The
+        #: owner's resume callbacks ride on it; preemption strips them off
+        #: the dead timeout (which then fires as a no-op) and the next
+        #: segment re-carries them, firing the owner exactly once, at
+        #: final completion.
+        self.cur_seg: Optional["_PrioSegment"] = None
+        #: resume callbacks awaiting the next segment (the park event's
+        #: callback list while waiting, or the strip of a preempted one).
+        self.pending_cbs: Optional[list] = None
+        self.seg_started = 0.0
+        self.parked_at = 0.0
+        self.waited = False
+
+
+class _PrioSegment(Timeout):
+    """One service segment of a priority charge (see :class:`_PrioCharge`).
+
+    The constructor inlines ``Timeout.__init__`` — one segment is
+    allocated per charge (plus one per preemption), the discipline's
+    hottest allocation.
+    """
+
+    __slots__ = ("resource", "charge", "token")
+
+    def __init__(self, env: "Environment", delay: float,
+                 resource: "Resource", charge: _PrioCharge, token: int):
+        self.resource = resource
+        self.charge = charge
+        self.token = token
+        self.env = env
+        self.name = "timeout"
+        self.callbacks = []
+        self._ok = True
+        self._fired = False
+        self.delay = delay
+        self._triggered = True
+        self._value = None
+        env._schedule_at(env._now + delay, self, NORMAL)
 
 
 class _PrioState:
     """Per-resource state of :class:`PriorityPreemptiveDiscipline`."""
 
-    __slots__ = ("waiting", "running")
+    __slots__ = ("waiting", "running", "segment_cb")
 
     def __init__(self) -> None:
-        #: waiting charges as (-priority, seq, grant event).
-        self.waiting: list[tuple[int, int, Event]] = []
-        self.running: list[_RunningCharge] = []
+        #: waiting charges as (-priority, seq, charge).
+        self.waiting: list[tuple[int, int, _PrioCharge]] = []
+        self.running: list[_PrioCharge] = []
+        #: shared segment-completion callback (one bound method).
+        self.segment_cb = None
 
 
 class PriorityPreemptiveDiscipline(SchedulingDiscipline):
@@ -636,78 +818,136 @@ class PriorityPreemptiveDiscipline(SchedulingDiscipline):
     immediately.  Waiters are granted highest-priority-first (FIFO within
     a priority level), so a preempted charge resumes ahead of later
     arrivals of its own level.  Conservation: however often a charge is
-    preempted, its banked service always sums to its demand — the loop
-    only exits once ``remaining`` hits zero.
+    preempted, its banked service always sums to its demand — a charge
+    completes only once ``remaining`` hits zero.
+
+    Hot path: like the fair discipline, the lifecycle runs callback-side
+    (one generator resume per charge, no acquire/preempt events, no
+    ``any_of`` gate).  A service segment is a :class:`_PrioSegment`
+    timeout carrying the charge; the owner's resume callback rides on
+    the segment (or waits, unscheduled, on a park event whose callbacks
+    the first segment absorbs).  Preempting a segment bumps the charge's
+    segment token and strips the callbacks instead of cancelling the
+    heap entry (O(n) removal) — the dead timeout fires later as a
+    lazy-deleted no-op, bounded at one entry per preemption, gone within
+    the charge's own (sub-millisecond) duration.
     """
 
     name = "priority"
 
     def attach(self, resource: "Resource") -> None:
-        resource._sched = _PrioState()
+        state = _PrioState()
+        state.segment_cb = self._on_segment_end
+        resource._sched = state
 
     def use(self, resource: "Resource", delay: float,
             tag: ChargeTag) -> Generator:
         env = resource.env
         state: _PrioState = resource._sched
-        seq = next(resource._seq)
-        remaining = delay
-        waited = False
-        while True:
-            # -- take a slot: free > preemptable > park ---------------------
-            if resource.users < resource.capacity:
-                resource.users += 1
+        charge = _PrioCharge(tag.priority, next(resource._seq), delay)
+        if resource.users < resource.capacity:
+            resource.users += 1
+            self._start_segment(resource, state, charge)
+        else:
+            self._place(resource, state, charge)
+        if charge.cur_seg is not None:
+            # Serving already: resume straight off the segment timeout
+            # (later segments inherit the callback if it gets preempted).
+            yield charge.cur_seg
+        else:
+            # Parked: the park event is never scheduled — it only holds
+            # the resume callback until a grant migrates it to a segment.
+            park = _Park()
+            charge.pending_cbs = park.callbacks
+            yield park
+
+    # -- slot placement (free slot already ruled out) ----------------------
+
+    def _place(self, resource: "Resource", state: _PrioState,
+               charge: _PrioCharge) -> None:
+        """Preempt the weakest running charge, or park: the arrival *and*
+        re-queue path, so a displaced victim may itself displace a still
+        weaker charge when the resource has several slots."""
+        victim: Optional[_PrioCharge] = None
+        for entry in state.running:
+            if entry.priority >= charge.priority:
+                continue
+            if victim is None or (entry.priority, -entry.seq) < (
+                    victim.priority, -victim.seq):
+                victim = entry
+        if victim is not None:
+            # Bank the victim's service; its slot transfers to ``charge``
+            # (``users`` unchanged).  The victim re-queues with its
+            # original arrival sequence — or completes, if the preemption
+            # landed exactly at its completion instant.
+            env = resource.env
+            served = env._now - victim.seg_started
+            resource.busy_time += served
+            victim.remaining -= served
+            victim.segment += 1  # lazy-cancel the in-flight timeout
+            seg = victim.cur_seg
+            victim.pending_cbs = seg.callbacks[1:]  # strip [segment_cb, ...]
+            seg.callbacks = []
+            victim.cur_seg = None
+            state.running.remove(victim)
+            resource.preemptions += 1
+            self._start_segment(resource, state, charge)
+            if victim.remaining > 1e-15:
+                # The victim re-places itself: it may in turn displace a
+                # still weaker charge from another slot, or park.
+                self._place(resource, state, victim)
             else:
-                victim: Optional[_RunningCharge] = None
-                for entry in state.running:
-                    if entry.preempted or entry.priority >= tag.priority:
-                        continue
-                    if victim is None or (entry.priority, -entry.seq) < (
-                            victim.priority, -victim.seq):
-                        victim = entry
-                if victim is not None:
-                    victim.preempted = True
-                    resource.preemptions += 1
-                    if not victim.preempt.triggered:
-                        victim.preempt.succeed()
-                    # The victim's slot transfers to us: ``users`` unchanged.
-                else:
-                    event = env.event(f"acquire:{resource.name}")
-                    heapq.heappush(state.waiting, (-tag.priority, seq, event))
-                    if not waited:
-                        resource.waits += 1
-                        waited = True
-                    started = env.now
-                    yield event  # granted by a completion; ``users`` counted
-                    resource.wait_time += env.now - started
-            # -- serve until completion or preemption -----------------------
-            entry = _RunningCharge(tag.priority, seq,
-                                   env.event(f"preempt:{resource.name}"))
-            state.running.append(entry)
-            started = env.now
-            # On preemption the timeout cannot be cancelled (heap removal
-            # is O(n)); it expires later as a dead no-callback event.  One
-            # bounded heap entry per preemption, gone within the charge's
-            # own (microsecond-scale) duration.
-            finished = env.timeout(remaining)
-            yield env.any_of((finished, entry.preempt))
-            state.running.remove(entry)
-            if entry.preempted:
-                # The slot already belongs to the preemptor, so there is
-                # nothing to release — bank the service and re-queue (or
-                # exit, if the preemption landed exactly at completion).
-                served = env.now - started
-                resource.busy_time += served
-                remaining -= served
-                if remaining > 1e-15:
-                    continue
-                return
-            resource.busy_time += remaining
-            if state.waiting:
-                _negp, _wseq, event = heapq.heappop(state.waiting)
-                event.succeed()
-            else:
-                resource.users -= 1
-            return
+                # Preempted exactly at completion: fire the owner's
+                # resume now (nothing to release — the slot transferred).
+                wake = Event(env)
+                wake._triggered = True
+                wake.callbacks = victim.pending_cbs
+                env._schedule_at(env._now, wake, NORMAL)
+        else:
+            heapq.heappush(state.waiting,
+                           (-charge.priority, charge.seq, charge))
+            if not charge.waited:
+                resource.waits += 1
+                charge.waited = True
+            charge.parked_at = resource.env._now
+
+    # -- service segments ---------------------------------------------------
+
+    def _start_segment(self, resource: "Resource", state: _PrioState,
+                       charge: _PrioCharge) -> None:
+        env = resource.env
+        state.running.append(charge)
+        charge.seg_started = env._now
+        seg = _PrioSegment(env, charge.remaining, resource, charge,
+                           charge.segment)
+        seg.callbacks.append(state.segment_cb)
+        pending = charge.pending_cbs
+        if pending:
+            # Carry the owner's resume callback(s) over from the park
+            # event or the previous (preempted) segment.
+            seg.callbacks.extend(pending)
+            charge.pending_cbs = None
+        charge.cur_seg = seg
+
+    def _on_segment_end(self, seg: "_PrioSegment") -> None:
+        charge = seg.charge
+        if charge.segment != seg.token:
+            return  # preempted: this timeout was lazily cancelled
+        resource = seg.resource
+        state: _PrioState = resource._sched
+        resource.busy_time += charge.remaining
+        charge.remaining = 0.0
+        charge.cur_seg = None
+        state.running.remove(charge)
+        # The owner's resume callback follows this one on the same
+        # timeout, so the grant below lands before the owner continues —
+        # exactly the old completion order.
+        if state.waiting:
+            _negp, _wseq, granted = heapq.heappop(state.waiting)
+            resource.wait_time += resource.env._now - granted.parked_at
+            self._start_segment(resource, state, granted)
+        else:
+            resource.users -= 1
 
     def queued(self, resource: "Resource") -> int:
         return len(resource._sched.waiting)
@@ -760,12 +1000,14 @@ class Resource:
     inside :meth:`use` only.
 
     Limitation: interrupting a process that is parked waiting for a slot
-    leaks its queue entry; the engine never interrupts threads in these
-    paths.
+    leaks its queue entry — and under the fair/priority disciplines the
+    parked process's resume callback migrates between park events and
+    service timeouts, which :meth:`Process.interrupt` cannot detach.
+    The engine never interrupts threads in these paths.
     """
 
     __slots__ = ("env", "capacity", "name", "users", "_waiters",
-                 "discipline", "_sched", "_seq",
+                 "discipline", "_sched", "_seq", "_use",
                  "busy_time", "wait_time", "waits", "preemptions")
 
     def __init__(self, env: Environment, capacity: int = 1, name: str = "",
@@ -787,6 +1029,10 @@ class Resource:
         self.waits = 0
         self.preemptions = 0
         self.discipline.attach(self)
+        # Cached bound dispatch: ``use`` is the hottest call of the serving
+        # layer (every CPU charge of every thread), so skip the double
+        # attribute lookup per charge.
+        self._use = self.discipline.use
 
     @property
     def queued(self) -> int:
@@ -828,5 +1074,49 @@ class Resource:
         ``tag`` carries the charge's service-class attributes (weight,
         priority); ``None`` means :data:`DEFAULT_TAG`.  FIFO ignores it.
         """
-        return self.discipline.use(self, delay,
-                                   DEFAULT_TAG if tag is None else tag)
+        return self._use(self, delay, DEFAULT_TAG if tag is None else tag)
+
+    def use_until(self, delay: float, tag: Optional[ChargeTag],
+                  at: float) -> Generator:
+        """Hold one slot for ``delay`` seconds, completing at exactly ``at``.
+
+        The macro-charge flush path: a batched charge replays the exact
+        float additions of its per-component timeouts into an absolute
+        completion instant, and an *uncontended FIFO* resource schedules
+        the completion at that very float — so merging N charges into one
+        is bit-identical to issuing them back-to-back, the property the
+        batched quantum's figure-output identity rests on.  (Sequence
+        numbers are the one residual: a merged charge allocates fewer of
+        them, so an *exact* same-instant tie against an unrelated event
+        can in principle order differently than in tuple mode; the
+        macro-charge property suite pins the actual figure workloads.)
+        A contended slot (the wait already moved the completion) or a
+        non-FIFO discipline (no identity claim) falls back to
+        :meth:`use`.
+
+        ``at`` must not lie in the past: the accumulate-then-flush
+        contract is that no virtual time passes between a macro-charge's
+        first component and its flush, and a stale deadline would move
+        the clock backwards — better a loud error than silently
+        corrupted timings.
+        """
+        if at < self.env._now:
+            raise SimulationError(
+                f"macro-charge flush deadline {at} is in the past "
+                f"(now {self.env._now}): a visibility boundary was "
+                "crossed without flushing"
+            )
+        if self.discipline.name != "fifo" or self.users >= self.capacity \
+                or self._waiters:
+            yield from self._use(self, delay,
+                                 DEFAULT_TAG if tag is None else tag)
+            return
+        self.users += 1
+        try:
+            done = Event(self.env)
+            done._triggered = True
+            self.env._schedule_at(at, done, NORMAL)
+            yield done
+            self.busy_time += delay
+        finally:
+            self.release()

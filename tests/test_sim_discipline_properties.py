@@ -178,6 +178,68 @@ class TestPriorityPreemptiveProperties:
         assert [index for _t, index in done] == [0, 1]
 
 
+class TestPriorityCallbackEdgePaths:
+    """Edge paths of the callback-driven priority rewrite: preemption
+    landing exactly at the victim's completion instant (the lazy-cancel +
+    wake path) and multi-slot preemption with re-placement."""
+
+    def test_preemption_exactly_at_completion_conserves(self):
+        # The preemptor's arrival event is scheduled before the victim's
+        # segment timeout at the same instant, so the victim is preempted
+        # with zero remaining service: it must complete (not requeue),
+        # the slot must transfer, and nothing may be double-released.
+        env = Environment()
+        resource = Resource(env, 1, "r", make_discipline("priority"))
+        done = []
+
+        def boss():
+            yield env.timeout(0.2)
+            yield from resource.use(0.1, ChargeTag(key="b", priority=9))
+            done.append(("b", env.now))
+
+        def victim():
+            yield from resource.use(0.2, ChargeTag(key="v", priority=0))
+            done.append(("v", env.now))
+
+        env.process(boss())
+        env.process(victim())
+        env.run()
+        completion = dict(done)
+        assert completion["v"] == pytest.approx(0.2)
+        assert completion["b"] == pytest.approx(0.3)
+        assert resource.preemptions == 1
+        assert resource.busy_time == pytest.approx(0.3)
+        assert resource.users == 0 and resource.queued == 0
+
+    def test_multi_slot_preemption_re_places_the_victim(self):
+        # Capacity 2: the preemptor displaces the weakest running charge,
+        # which re-places itself (parks, since the other runner outranks
+        # it) and still completes with its full remaining service.
+        env = Environment()
+        resource = Resource(env, 2, "r", make_discipline("priority"))
+        done = []
+
+        def worker(key, start, duration, priority):
+            if start:
+                yield env.timeout(start)
+            yield from resource.use(duration,
+                                    ChargeTag(key=key, priority=priority))
+            done.append((key, env.now))
+
+        env.process(worker("low", 0.0, 1.0, 0))
+        env.process(worker("mid", 0.0, 1.0, 1))
+        env.process(worker("boss", 0.1, 0.2, 9))
+        env.run()
+        completion = dict(done)
+        assert completion["boss"] == pytest.approx(0.3)
+        assert completion["mid"] == pytest.approx(1.0)
+        # low: 0.1 served, preempted for 0.2, resumes at 0.3 on the slot
+        # boss freed, finishes its remaining 0.9 at 1.2.
+        assert completion["low"] == pytest.approx(1.2)
+        assert resource.preemptions == 1
+        assert resource.busy_time == pytest.approx(2.2)
+
+
 class TestDisciplineRegistry:
     def test_known_names(self):
         from repro.sim.core import discipline_names
