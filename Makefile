@@ -6,7 +6,8 @@
 #                         cross-query stealing at scale; also the nightly job)
 #   make check-full       everything: tier-1, slow tier, benchmark smoke
 #   make lint             ruff check (whole tree) + ruff format --check on
-#                         scripts/ — identical to the CI lint job
+#                         scripts/ and src/repro/api/ — identical to the CI
+#                         lint job
 #   make determinism      run the figure/scenario experiments twice and diff
 #                         byte-for-byte against baselines/determinism.txt
 #   make bench-smoke      one pass of the workload + kernel benchmarks
@@ -33,7 +34,7 @@ check-full: check check-slow bench-smoke
 
 lint:
 	ruff check .
-	ruff format --check scripts
+	ruff format --check scripts src/repro/api
 
 determinism:
 	$(PYTHON) scripts/check_determinism.py

@@ -35,35 +35,57 @@ Quickstart::
 
 from .sim.machine import KB, MB, PAGE_SIZE, MachineConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineConfig",
     "KB",
     "MB",
     "PAGE_SIZE",
+    "run",
     "run_query",
     "__version__",
 ]
 
 
-def run_query(plan, config, strategy="DP", **kwargs):
-    """Execute a parallel plan on a simulated machine and return the result.
+def run(scenario, **kwargs):
+    """Execute a declarative :class:`repro.api.ScenarioSpec`.
 
-    Thin convenience wrapper over :class:`repro.engine.executor.QueryExecutor`
-    (imported lazily to keep ``import repro`` light).
-
-    Parameters
-    ----------
-    plan:
-        A :class:`repro.optimizer.plan.ParallelExecutionPlan`.
-    config:
-        A :class:`repro.sim.machine.MachineConfig`.
-    strategy:
-        ``"DP"`` (the paper's model), ``"SP"`` or ``"FP"``.
-    kwargs:
-        Forwarded to the executor (engine parameters, seeds, ...).
+    The single entry point of the scenario API: serving scenarios run
+    the full multi-query stack, single-query scenarios the paper's
+    engine — see :mod:`repro.api.facade`.  Imported lazily to keep
+    ``import repro`` light.
     """
+    from .api.facade import run as _run
+
+    return _run(scenario, **kwargs)
+
+
+def run_query(plan, config=None, strategy="DP", **kwargs):
+    """Execute one query and return its :class:`ExecutionResult`.
+
+    Two call shapes:
+
+    * ``run_query(scenario)`` — a :class:`repro.api.ScenarioSpec`: the
+      population's first plan runs once with ``workload.strategy`` and
+      ``params`` from the spec;
+    * ``run_query(plan, config, strategy=...)`` — the classic form, a
+      thin wrapper over :class:`repro.engine.executor.QueryExecutor`
+      (``kwargs`` forwarded: engine parameters, seeds, ...).
+    """
+    from .api.spec import ScenarioSpec
+
+    if isinstance(plan, ScenarioSpec):
+        if config is not None:
+            raise TypeError(
+                "run_query(scenario) takes no machine config; the "
+                "scenario's cluster field already describes it"
+            )
+        from .api.facade import run_query as _run_query
+
+        return _run_query(plan, **kwargs)
+    if config is None:
+        raise TypeError("run_query(plan, config) requires a MachineConfig")
     from .engine.executor import QueryExecutor
 
     return QueryExecutor(plan, config, strategy=strategy, **kwargs).run()

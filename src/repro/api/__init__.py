@@ -1,0 +1,60 @@
+"""Declarative scenario API: spec trees in, measurements out.
+
+The public surface of the reproduction, designed around config-as-data
+(the DynaHash / scenario-matrix lesson: evaluation grids scale when a
+scenario is a value, not a wiring exercise):
+
+* :class:`ScenarioSpec` — one frozen, validated, serializable tree
+  composing cluster topology, engine params, workload (arrivals,
+  service classes, admission) and the plan population; lossless
+  ``to_json``/``from_json`` with unknown keys rejected
+  (:mod:`repro.api.spec`, codec in :mod:`repro.api.serde`);
+* :func:`run` / :func:`run_query` — the façades that subsume the manual
+  driver/substrate/coordinator wiring for serving and single-query runs
+  (:mod:`repro.api.facade`);
+* :class:`SweepSpec` / :func:`run_sweep` — sweep axes as data, executed
+  by one generic grid runner over the multiprocessing fan-out
+  (:mod:`repro.api.sweep`);
+* ``repro-run scenario.json`` — the CLI over the same surface
+  (:mod:`repro.api.cli`).
+
+Quickstart::
+
+    import repro
+    from repro.api import ScenarioSpec
+
+    spec = ScenarioSpec.from_json(open("scenario.json").read())
+    result = repro.run(spec)
+    print(result.summary())
+"""
+
+from .facade import RunResult, build_plans, run, run_query
+from .serde import SpecError
+from .spec import PLAN_KINDS, PlanSpec, ScenarioSpec, get_path, replace_path
+from .sweep import (
+    AXIS_MACROS,
+    SweepSpec,
+    apply_axis,
+    run_scenarios,
+    run_sweep,
+    sweep_table,
+)
+
+__all__ = [
+    "AXIS_MACROS",
+    "PLAN_KINDS",
+    "PlanSpec",
+    "RunResult",
+    "ScenarioSpec",
+    "SpecError",
+    "SweepSpec",
+    "apply_axis",
+    "build_plans",
+    "get_path",
+    "replace_path",
+    "run",
+    "run_query",
+    "run_scenarios",
+    "run_sweep",
+    "sweep_table",
+]

@@ -1,0 +1,133 @@
+"""``repro.run(scenario)``: one entry point for every kind of run.
+
+The façade subsumes the manual wiring a scenario used to require —
+building plans, a :class:`~repro.serving.substrate.SharedSubstrate`, a
+:class:`~repro.serving.coordinator.MultiQueryCoordinator` and a
+:class:`~repro.serving.driver.WorkloadDriver` by hand — behind one
+declarative :class:`~repro.api.spec.ScenarioSpec`:
+
+* ``mode="serving"`` — the full multi-query stack: the workload spec's
+  arrival stream runs against the cluster under admission control and
+  the configured scheduling disciplines, returning workload metrics.
+* ``mode="single"`` — the paper's regime: the plan population's first
+  plan executes alone via :class:`~repro.engine.executor.QueryExecutor`
+  with ``workload.strategy``.
+
+Both paths delegate to the exact legacy entry points (the driver and the
+executor), so a scenario run is *metric-identical* to the equivalent
+hand-wired run — the regression suite asserts byte equality of the
+metrics digests.
+
+Plan populations are memoized per ``(plan spec, cluster)``: plan
+compilation is deterministic in those inputs, so sweep cells sharing a
+population pay for it once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from ..engine.metrics import ExecutionResult
+from ..serving.driver import WorkloadDriver, WorkloadRunResult
+from ..sim.machine import MachineConfig
+from .spec import PlanSpec, ScenarioSpec
+
+__all__ = ["RunResult", "build_plans", "run", "run_query"]
+
+
+@lru_cache(maxsize=16)
+def _cached_plans(plans: PlanSpec, cluster: MachineConfig) -> tuple:
+    return plans.build(cluster)
+
+
+def build_plans(scenario: ScenarioSpec) -> tuple:
+    """The scenario's compiled plan population (memoized per process)."""
+    return _cached_plans(scenario.plans, scenario.cluster)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What ``repro.run`` returns: the scenario plus its measurements.
+
+    Exactly one of ``workload`` (serving mode) and ``execution`` (single
+    mode) is set; :attr:`metrics` resolves to whichever applies.
+    """
+
+    scenario: ScenarioSpec
+    workload: Optional[WorkloadRunResult] = None
+    execution: Optional[ExecutionResult] = None
+
+    @property
+    def metrics(self):
+        """Workload metrics (serving) or execution metrics (single)."""
+        if self.workload is not None:
+            return self.workload.metrics
+        assert self.execution is not None
+        return self.execution.metrics
+
+    def summary(self) -> str:
+        """One printable line per run — the CLI's default output."""
+        if self.workload is not None:
+            return str(self.workload)
+        execution = self.execution
+        assert execution is not None
+        return (
+            f"query [{execution.strategy} on {execution.config_label}, "
+            f"plan {execution.plan_label}]: "
+            f"response {execution.response_time:.6f}s, "
+            f"{execution.metrics.result_tuples} result tuples, "
+            f"{execution.metrics.activations_processed} activations"
+        )
+
+
+def run(scenario: ScenarioSpec, *, plans: Optional[Sequence] = None) -> RunResult:
+    """Execute a scenario and return its :class:`RunResult`.
+
+    ``plans`` overrides the scenario's declared population with explicit
+    compiled plans (tests and ad-hoc studies with hand-built plans);
+    everything else still comes from the spec.
+    """
+    population = tuple(plans) if plans is not None else build_plans(scenario)
+    if not population:
+        raise ValueError("scenario has an empty plan population")
+    if scenario.mode == "single":
+        return RunResult(
+            scenario=scenario,
+            execution=_execute_single(scenario, population),
+        )
+    driver = WorkloadDriver(
+        list(population),
+        scenario.cluster,
+        scenario.workload,
+        scenario.params,
+    )
+    return RunResult(scenario=scenario, workload=driver.run())
+
+
+def run_query(
+    scenario: ScenarioSpec,
+    *,
+    plans: Optional[Sequence] = None,
+) -> ExecutionResult:
+    """Single-query façade: run the scenario's first plan once.
+
+    Works for any scenario regardless of ``mode`` — the strategy comes
+    from ``workload.strategy``, the engine knobs from ``params``.
+    """
+    population = tuple(plans) if plans is not None else build_plans(scenario)
+    if not population:
+        raise ValueError("scenario has an empty plan population")
+    return _execute_single(scenario, population)
+
+
+def _execute_single(scenario: ScenarioSpec, population: tuple) -> ExecutionResult:
+    from ..engine.executor import QueryExecutor
+
+    return QueryExecutor(
+        population[0],
+        scenario.cluster,
+        strategy=scenario.workload.strategy,
+        params=scenario.params,
+    ).run()

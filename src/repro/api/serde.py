@@ -1,0 +1,172 @@
+"""Generic, lossless (de)serialization for frozen spec dataclasses.
+
+The scenario API's promise is that *every* knob of the system serializes
+for free: a new field added to :class:`~repro.engine.params.
+ExecutionParams` (or any dataclass nested below a spec) becomes part of
+the JSON surface without touching this module.  The codec therefore
+works from the dataclass *type structure*, not from per-class encoders:
+
+* ``encode`` walks dataclass fields recursively, turning nested
+  dataclasses into dicts and tuples into lists; only JSON scalars remain
+  at the leaves.
+* ``decode`` walks the declared field types (``typing.get_type_hints``)
+  and rebuilds the exact object tree, running every ``__post_init__``
+  validator on the way up — a decoded spec is as validated as a
+  constructed one.
+
+Strictness is the point: unknown keys, wrong shapes and wrong scalar
+types are hard :class:`SpecError`\\ s carrying the dotted path of the
+offending entry, never silent drops — a typo'd knob in a scenario file
+must not silently run the default.
+
+Losslessness: floats survive the round trip exactly (``json`` emits
+``repr``-precision floats), ints stay ints, and ``Optional`` fields
+distinguish ``null`` from a value — ``decode(type(x), encode(x)) == x``
+for every spec tree built from supported field types (scalars,
+``Optional``, dataclasses, homogeneous ``tuple[T, ...]`` and
+fixed-arity ``tuple[A, B, ...]``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import types
+import typing
+from functools import lru_cache
+
+__all__ = ["SpecError", "encode", "decode", "to_json", "from_json"]
+
+
+class SpecError(ValueError):
+    """A spec tree could not be (de)serialized; the message names the path."""
+
+
+def encode(value: typing.Any) -> typing.Any:
+    """Turn a spec tree into JSON-compatible plain data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: encode(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [encode(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SpecError(
+        f"cannot serialize {type(value).__name__!r} values; spec trees "
+        "hold dataclasses, tuples and JSON scalars only",
+    )
+
+
+@lru_cache(maxsize=None)
+def _field_types(cls: type) -> dict[str, typing.Any]:
+    """Resolved (non-string) annotations of a dataclass, cached."""
+    return typing.get_type_hints(cls)
+
+
+def decode(tp: typing.Any, data: typing.Any, path: str = "$") -> typing.Any:
+    """Rebuild a value of declared type ``tp`` from plain data.
+
+    Raises :class:`SpecError` on unknown keys, arity or scalar-type
+    mismatches; dataclass ``__post_init__`` validation errors propagate
+    unchanged (they already carry a precise message).
+    """
+    origin = typing.get_origin(tp)
+    # Both union spellings: typing.Optional[X] and PEP 604's ``X | None``.
+    if origin is typing.Union or origin is types.UnionType:
+        args = typing.get_args(tp)
+        if data is None:
+            if type(None) in args:
+                return None
+            raise SpecError(f"{path}: null is not allowed here")
+        concrete = [arg for arg in args if arg is not type(None)]
+        if len(concrete) != 1:
+            raise SpecError(f"{path}: unsupported union type {tp!r}")
+        return decode(concrete[0], data, path)
+    if dataclasses.is_dataclass(tp):
+        return _decode_dataclass(tp, data, path)
+    if origin is tuple:
+        return _decode_tuple(tp, data, path)
+    return _decode_scalar(tp, data, path)
+
+
+def _decode_dataclass(tp: type, data: typing.Any, path: str) -> typing.Any:
+    if not isinstance(data, dict):
+        raise SpecError(
+            f"{path}: expected an object for {tp.__name__}, "
+            f"got {type(data).__name__}",
+        )
+    fields = {field.name: field for field in dataclasses.fields(tp)}
+    unknown = sorted(set(data) - set(fields))
+    if unknown:
+        raise SpecError(
+            f"{path}: unknown key(s) {unknown} for {tp.__name__}; "
+            f"known: {sorted(fields)}",
+        )
+    types = _field_types(tp)
+    kwargs = {
+        name: decode(types[name], value, f"{path}.{name}")
+        for name, value in data.items()
+    }
+    try:
+        return tp(**kwargs)
+    except TypeError as exc:  # a required field was missing
+        raise SpecError(f"{path}: cannot build {tp.__name__}: {exc}") from exc
+
+
+def _decode_tuple(tp: typing.Any, data: typing.Any, path: str) -> tuple:
+    if not isinstance(data, (list, tuple)):
+        raise SpecError(f"{path}: expected an array, got {type(data).__name__}")
+    args = typing.get_args(tp)
+    if not args:
+        raise SpecError(f"{path}: untyped tuples are not supported")
+    if len(args) == 2 and args[1] is Ellipsis:
+        return tuple(
+            decode(args[0], item, f"{path}[{index}]")
+            for index, item in enumerate(data)
+        )
+    if len(data) != len(args):
+        raise SpecError(f"{path}: expected {len(args)} entries, got {len(data)}")
+    return tuple(
+        decode(arg, item, f"{path}[{index}]")
+        for index, (arg, item) in enumerate(zip(args, data))
+    )
+
+
+def _decode_scalar(tp: typing.Any, data: typing.Any, path: str) -> typing.Any:
+    if tp is float:
+        # JSON has one number type; accept ints where floats are declared.
+        if isinstance(data, (int, float)) and not isinstance(data, bool):
+            return float(data)
+    elif tp is int:
+        if isinstance(data, int) and not isinstance(data, bool):
+            return data
+    elif tp is bool:
+        if isinstance(data, bool):
+            return data
+    elif tp is str:
+        if isinstance(data, str):
+            return data
+    elif tp is typing.Any:
+        return data
+    else:
+        raise SpecError(f"{path}: unsupported field type {tp!r}")
+    raise SpecError(
+        f"{path}: expected {tp.__name__}, got {type(data).__name__} "
+        f"({data!r})",
+    )
+
+
+def to_json(value: typing.Any, indent: int = 2) -> str:
+    """``encode`` then dump — the canonical on-disk spec format."""
+    return json.dumps(encode(value), indent=indent) + "\n"
+
+
+def from_json(tp: typing.Any, text: str) -> typing.Any:
+    """Parse JSON text and ``decode`` it as a ``tp``."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid JSON: {exc}") from exc
+    return decode(tp, data)

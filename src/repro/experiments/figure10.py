@@ -25,6 +25,7 @@ from ..sim.machine import MachineConfig
 from ..workloads.plans import build_workload
 from .config import FIGURE10_CONFIGS, ExperimentOptions, scaled_execution_params
 from .methodology import Series, relative_performance
+from .registry import register_experiment
 from .reporting import format_series_table, format_table
 
 __all__ = ["Figure10Result", "run", "PAPER_EXPECTATION"]
@@ -72,6 +73,8 @@ class Figure10Result:
         return main + "\n\n" + side
 
 
+@register_experiment("fig10", "Figure 10: DP vs FP, hierarchical",
+                     expectation=PAPER_EXPECTATION)
 def run(options: Optional[ExperimentOptions] = None,
         configs: tuple[tuple[int, int], ...] = FIGURE10_CONFIGS,
         skew_factor: float = SKEW_FACTOR) -> Figure10Result:

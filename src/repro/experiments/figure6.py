@@ -18,6 +18,7 @@ from ..sim.machine import MachineConfig
 from ..workloads.plans import build_workload
 from .config import ExperimentOptions, scaled_execution_params
 from .methodology import Series, relative_performance
+from .registry import register_experiment
 from .reporting import format_series_table
 
 __all__ = ["Figure6Result", "run", "PAPER_EXPECTATION"]
@@ -46,6 +47,8 @@ class Figure6Result:
         )
 
 
+@register_experiment("fig6", "Figure 6: SP/DP/FP relative performance",
+                     expectation=PAPER_EXPECTATION)
 def run(options: Optional[ExperimentOptions] = None,
         processor_counts: tuple[int, ...] = PROCESSOR_COUNTS) -> Figure6Result:
     """Measure SP/DP/FP on one SM-node across processor counts."""

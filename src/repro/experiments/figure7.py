@@ -25,6 +25,7 @@ from ..sim.rng import derive_seed
 from ..workloads.plans import build_workload
 from .config import ExperimentOptions, scaled_execution_params
 from .methodology import Series, relative_performance
+from .registry import register_experiment
 from .reporting import format_series_table
 
 __all__ = ["Figure7Result", "run", "PAPER_EXPECTATION"]
@@ -60,6 +61,8 @@ class Figure7Result:
         return max(series.ys()) / series.y_at(0.0)
 
 
+@register_experiment("fig7", "Figure 7: FP vs cost-model error",
+                     expectation=PAPER_EXPECTATION)
 def run(options: Optional[ExperimentOptions] = None,
         processor_counts: tuple[int, ...] = PROCESSOR_COUNTS,
         error_rates: tuple[float, ...] = ERROR_RATES,

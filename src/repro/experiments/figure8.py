@@ -20,6 +20,7 @@ from ..sim.machine import MachineConfig
 from ..workloads.plans import build_workload
 from .config import ExperimentOptions, scaled_execution_params
 from .methodology import Series, average_speedup
+from .registry import register_experiment
 from .reporting import format_series_table
 
 __all__ = ["Figure8Result", "run", "PAPER_EXPECTATION"]
@@ -50,6 +51,8 @@ class Figure8Result:
         return next(s for s in self.series if s.name == strategy).y_at(procs)
 
 
+@register_experiment("fig8", "Figure 8: speedup",
+                     expectation=PAPER_EXPECTATION)
 def run(options: Optional[ExperimentOptions] = None,
         processor_counts: tuple[int, ...] = PROCESSOR_COUNTS) -> Figure8Result:
     """Measure the speedup curves."""

@@ -22,6 +22,7 @@ from ..sim.machine import MachineConfig
 from ..workloads.plans import build_workload
 from .config import ExperimentOptions, scaled_execution_params
 from .methodology import Series, relative_performance
+from .registry import register_experiment
 from .reporting import format_series_table
 
 __all__ = ["Figure9Result", "run", "PAPER_EXPECTATION"]
@@ -54,6 +55,8 @@ class Figure9Result:
         return max(self.series[0].ys())
 
 
+@register_experiment("fig9", "Figure 9: DP vs redistribution skew",
+                     expectation=PAPER_EXPECTATION)
 def run(options: Optional[ExperimentOptions] = None,
         skew_factors: tuple[float, ...] = SKEW_FACTORS,
         processors: int = PROCESSORS) -> Figure9Result:

@@ -1,0 +1,101 @@
+"""Experiment registry: figures and sweeps register themselves as data.
+
+Each experiment module decorates its ``run`` function::
+
+    @register_experiment("fig6", "Figure 6: SP/DP/FP relative performance",
+                         expectation=PAPER_EXPECTATION)
+    def run(options=None, ...):
+        ...
+
+and the runner (:mod:`repro.experiments.runner`) iterates
+:data:`REGISTRY` — no hand-maintained lambda table.  An entry records
+the experiment's id, description, paper expectation and which optional
+runner knobs it accepts (``accepts=("processes", "charge_quantum")`` for
+the parallelizable sweeps), so ``repro-experiments --parallel/--quantum``
+reach exactly the experiments that understand them.
+
+The runner callable takes :class:`~repro.experiments.config.
+ExperimentOptions` (plus accepted keywords) and returns either a result
+object with a ``.table()`` method or a plain string table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["Experiment", "REGISTRY", "register_experiment", "experiment_names"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment (see module docstring)."""
+
+    name: str
+    description: str
+    runner: Callable
+    expectation: str = ""
+    #: optional ``run_all`` keywords this runner understands.
+    accepts: tuple[str, ...] = ()
+
+    def table(self, options, **kwargs) -> str:
+        """Run and render — accepts only the keywords the runner declared."""
+        result = self.runner(options, **kwargs)
+        return result.table() if hasattr(result, "table") else str(result)
+
+
+#: experiment id -> :class:`Experiment`, in registration order (which the
+#: runner's import order makes the paper's presentation order).
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register_experiment(name: str, description: str, *,
+                        expectation: str = "",
+                        accepts: tuple[str, ...] = ()) -> Callable:
+    """Decorator factory: register the decorated ``run`` as ``name``."""
+
+    def decorate(fn: Callable) -> Callable:
+        existing = REGISTRY.get(name)
+        if existing is not None:
+            # ``python -m repro.experiments.workload_sweep`` executes the
+            # module twice — once on package import, once as ``__main__``
+            # — so its experiments re-register.  Keep the canonical
+            # package entry (or refresh it on a same-module re-import);
+            # only a *different* module claiming the id is a bug.
+            if fn.__module__ == "__main__":
+                return fn
+            if fn.__module__ != existing.runner.__module__:
+                raise ValueError(f"experiment {name!r} registered twice")
+            # Same module re-imported (e.g. importlib.reload): refresh
+            # in place — dict assignment keeps the presentation order.
+        REGISTRY[name] = Experiment(
+            name=name, description=description, runner=fn,
+            expectation=expectation, accepts=tuple(accepts),
+        )
+        return fn
+
+    return decorate
+
+
+def experiment_names() -> list[str]:
+    """Registered ids in presentation order."""
+    return list(REGISTRY)
+
+
+@register_experiment(
+    "params",
+    "Section 5.1.1 parameter tables",
+    expectation="Reproduced verbatim as defaults.",
+)
+def _params_experiment(options: Optional[object] = None) -> str:
+    """The static parameter tables (no simulation)."""
+    from .config import DISK_TABLE, NETWORK_TABLE
+    from .reporting import format_table
+
+    return (
+        format_table(["Network Parameters", "Values"], NETWORK_TABLE,
+                     title="Section 5.1.1 network parameters")
+        + "\n\n"
+        + format_table(["Disk Parameters", "Values"], DISK_TABLE,
+                       title="Section 5.1.1 disk parameters")
+    )

@@ -1,15 +1,22 @@
 """Run the full evaluation and write EXPERIMENTS.md.
 
-Usage (installed as ``repro-experiments``)::
+Usage (installed as ``repro-experiments`` via ``pip install -e .``)::
 
     repro-experiments                      # everything, default options
-    repro-experiments --only fig6 fig9     # a subset
+    repro-experiments --only fig6 fig9     # a subset (validated up front)
     repro-experiments --plans 12           # fewer plans per point (faster)
     repro-experiments --quick              # smallest meaningful setting
+    repro-experiments --parallel 0         # sweep cells, one per core
+    repro-experiments --quantum batched    # macro-charge engine mode
     repro-experiments --output results.md  # where to write the report
 
 Every experiment prints its table to stdout as it completes and the
-combined report records paper-vs-measured for each figure.
+combined report records paper-vs-measured for each figure.  The set of
+experiments is the :data:`~repro.experiments.registry.REGISTRY` — each
+experiment module registers its ``run`` with
+:func:`~repro.experiments.registry.register_experiment`; ``--parallel``
+and ``--quantum`` are forwarded to exactly the experiments that declare
+they accept them (the serving-layer sweeps).
 """
 
 from __future__ import annotations
@@ -18,97 +25,37 @@ import argparse
 import sys
 import time
 from dataclasses import replace
-from typing import Callable, Optional
+from typing import Optional
 
-from . import (figure6, figure7, figure8, figure9, figure10, section53,
-               service_class_sweep, workload_sweep)
-from .config import DISK_TABLE, NETWORK_TABLE, ExperimentOptions
-from .reporting import format_table
+# Importing the experiment modules populates the registry, in the
+# paper's presentation order ("params" registers with the registry
+# itself, ahead of these).
+from . import (figure6, figure7, figure8, figure9, figure10, section53,  # noqa: F401
+               workload_sweep, service_class_sweep)  # noqa: F401
+from .config import ExperimentOptions
+from .registry import REGISTRY as EXPERIMENTS
 
 __all__ = ["main", "run_all", "EXPERIMENTS"]
-
-
-def _params_report() -> str:
-    return (
-        format_table(["Network Parameters", "Values"], NETWORK_TABLE,
-                     title="Section 5.1.1 network parameters")
-        + "\n\n"
-        + format_table(["Disk Parameters", "Values"], DISK_TABLE,
-                       title="Section 5.1.1 disk parameters")
-    )
-
-
-#: experiment id -> (description, runner returning (table, expectation)).
-EXPERIMENTS: dict[str, tuple[str, Callable]] = {
-    "params": (
-        "Section 5.1.1 parameter tables",
-        lambda options: (_params_report(), "Reproduced verbatim as defaults."),
-    ),
-    "fig6": (
-        "Figure 6: SP/DP/FP relative performance",
-        lambda options: (
-            (lambda r: (r.table(), figure6.PAPER_EXPECTATION))(figure6.run(options))
-        ),
-    ),
-    "fig7": (
-        "Figure 7: FP vs cost-model error",
-        lambda options: (
-            (lambda r: (r.table(), figure7.PAPER_EXPECTATION))(figure7.run(options))
-        ),
-    ),
-    "fig8": (
-        "Figure 8: speedup",
-        lambda options: (
-            (lambda r: (r.table(), figure8.PAPER_EXPECTATION))(figure8.run(options))
-        ),
-    ),
-    "fig9": (
-        "Figure 9: DP vs redistribution skew",
-        lambda options: (
-            (lambda r: (r.table(), figure9.PAPER_EXPECTATION))(figure9.run(options))
-        ),
-    ),
-    "fig10": (
-        "Figure 10: DP vs FP, hierarchical",
-        lambda options: (
-            (lambda r: (r.table(), figure10.PAPER_EXPECTATION))(figure10.run(options))
-        ),
-    ),
-    "sec53": (
-        "Section 5.3: LB transfer volume",
-        lambda options: (
-            (lambda r: (r.table(), section53.PAPER_EXPECTATION))(section53.run(options))
-        ),
-    ),
-    "workload": (
-        "Workload sweep: MPL x skew x strategy (serving layer)",
-        lambda options: (
-            (lambda r: (r.table(), workload_sweep.PAPER_EXPECTATION))(
-                workload_sweep.run(options)
-            )
-        ),
-    ),
-    "classes": (
-        "Service classes: CPU discipline x MPL (machine-scheduler layer)",
-        lambda options: (
-            (lambda r: (r.table(), service_class_sweep.PAPER_EXPECTATION))(
-                service_class_sweep.run(options)
-            )
-        ),
-    ),
-}
 
 
 def run_all(options: Optional[ExperimentOptions] = None,
             only: Optional[list[str]] = None,
             output: Optional[str] = None,
-            echo: bool = True) -> str:
-    """Run the selected experiments and return the combined report."""
+            echo: bool = True,
+            processes: Optional[int] = None,
+            charge_quantum: Optional[str] = None) -> str:
+    """Run the selected experiments and return the combined report.
+
+    ``processes`` and ``charge_quantum`` reach the experiments whose
+    registry entries accept them (the sweeps); the figure experiments
+    ignore both.
+    """
     options = options or ExperimentOptions()
     selected = only or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
+    extras = {"processes": processes, "charge_quantum": charge_quantum}
     sections = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -120,13 +67,17 @@ def run_all(options: Optional[ExperimentOptions] = None,
         "",
     ]
     for name in selected:
-        description, runner = EXPERIMENTS[name]
+        experiment = EXPERIMENTS[name]
+        kwargs = {
+            key: value for key, value in extras.items()
+            if key in experiment.accepts and value is not None
+        }
         started = time.time()
-        table, expectation = runner(options)
+        table = experiment.table(options, **kwargs)
         elapsed = time.time() - started
         block = (
-            f"## {name}: {description}\n\n"
-            f"**Paper expectation.** {expectation}\n\n"
+            f"## {name}: {experiment.description}\n\n"
+            f"**Paper expectation.** {experiment.expectation}\n\n"
             f"**Measured** (wall {elapsed:.0f}s):\n\n"
             f"```\n{table}\n```\n"
         )
@@ -147,6 +98,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         description="Reproduce the paper's tables and figures."
     )
     parser.add_argument("--only", nargs="*", default=None,
+                        choices=list(EXPERIMENTS), metavar="EXPERIMENT",
                         help=f"subset of experiments: {list(EXPERIMENTS)}")
     parser.add_argument("--plans", type=int, default=None,
                         help="plans per measurement point (default 40)")
@@ -154,6 +106,13 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="workload scale (default 0.01; 1.0 = paper size)")
     parser.add_argument("--quick", action="store_true",
                         help="smallest meaningful setting (4 plans)")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="fan sweep cells across N processes "
+                             "(0 = one per core; sweeps only)")
+    parser.add_argument("--quantum", choices=("tuple", "batched"),
+                        default=None,
+                        help="engine charge granularity for the sweeps "
+                             "(batched = macro-charges)")
     parser.add_argument("--output", default="EXPERIMENTS.md",
                         help="report path (default EXPERIMENTS.md)")
     args = parser.parse_args(argv)
@@ -163,7 +122,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         options = replace(options, plans=args.plans)
     if args.scale is not None:
         options = replace(options, scale=args.scale)
-    run_all(options, only=args.only, output=args.output)
+    run_all(options, only=args.only, output=args.output,
+            processes=args.parallel, charge_quantum=args.quantum)
     print(f"report written to {args.output}")
     return 0
 

@@ -26,6 +26,7 @@ from ..catalog.skew import SkewSpec
 from ..engine import QueryExecutor
 from ..workloads.scenarios import pipeline_chain_scenario
 from .config import ExperimentOptions, scaled_execution_params
+from .registry import register_experiment
 from .reporting import format_table
 
 __all__ = ["Section53Result", "run", "PAPER_EXPECTATION"]
@@ -72,6 +73,8 @@ class Section53Result:
         )
 
 
+@register_experiment("sec53", "Section 5.3: LB transfer volume",
+                     expectation=PAPER_EXPECTATION)
 def run(options: Optional[ExperimentOptions] = None,
         base_tuples: Optional[int] = None) -> Section53Result:
     """Measure the LB transfer volume on the paper's chain scenario."""

@@ -8,35 +8,30 @@ weighted fair sharing and priority-preemptive — at increasing
 multiprogramming levels, reading back per-class throughput, p95 latency
 and SLO attainment.
 
+Four columns, each a declarative
+:class:`~repro.api.sweep.SweepSpec` over a base
+:class:`~repro.api.spec.ScenarioSpec` (the cell *is* the config — the
+run kind, the swept discipline, the bandwidth are all read back off the
+spec, no bespoke cell plumbing):
+
+* **closed** — CPU discipline × MPL over the Section 5.3 chain;
+* **overload** — a Poisson/bursty stream far above capacity with queue
+  timeouts on batch and deadline shedding on interactive, showing
+  non-zero shed counts while admitted interactive SLO attainment stays
+  high;
+* **io** — the **disk** discipline over a disk-dominated plan
+  population (``PlanSpec(kind="io_heavy")``, disks at 20x the scaled
+  latency), CPU pinned to FIFO: scheduling only the CPU would just move
+  the interference to the disk queue;
+* **net** — net discipline × bandwidth over the shared finite-bandwidth
+  :class:`~repro.sim.network.NetworkLink` (CPU and disks FIFO).
+
 Expected shape: FIFO is class-blind, so both classes see the same p95.
 Fair sharing and (more strongly) priority preemption shorten the
 interactive class's p95 at MPL >= 8 — its charges stop queueing behind
 batch work — while batch throughput stays within 20% of FIFO's: the
-disciplines reorder the same total work, they do not add any.
-
-An *overload* column exercises the open-loop handling: a Poisson stream
-offered above capacity with a queue timeout on batch and deadline
-shedding on interactive, showing non-zero shed counts while the SLO
-attainment of admitted interactive work stays high.
-
-An *I/O-heavy* sweep repeats the comparison for the **disk** discipline
-(``ExecutionParams.disk_discipline``) over a mixed plan population whose
-service demand is dominated by disk transfers: CPU scheduling alone
-cannot help a class that meets its CPU share and then queues behind
-batch table scans at the disk arms.  Expected shape, mirroring the CPU
-result: at MPL >= 8 the interactive class's p95 improves strictly under
-``"priority"`` disk scheduling relative to FIFO, batch throughput stays
-within 20%, and the per-class resource-wait breakdown shows the saved
-time coming out of the interactive class's *disk* queueing.
-
-A *finite-bandwidth* column closes the loop on the third resource: the
-paper's interconnect is infinite (messages never queue, the network
-discipline is inert), so this column re-runs the class mix with
-``NetworkParams.bandwidth`` set to real numbers, sweeping **net
-discipline × bandwidth** over the shared
-:class:`~repro.sim.network.NetworkLink`.  As the link tightens, per-class
-``net_wait`` becomes material; class-aware link scheduling then keeps
-the interactive class's share of that queueing below FIFO's.
+disciplines reorder the same total work, they do not add any.  The same
+ordering holds end to end at the disk arms and the link.
 
 Every cell of the grid is an independent simulation, so the sweep fans
 cells across cores with :func:`repro.experiments.parallel.parallel_map`
@@ -51,14 +46,17 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..api.facade import RunResult
+from ..api.spec import PlanSpec, ScenarioSpec
+from ..api.sweep import SweepSpec, run_scenarios
 from ..catalog.skew import SkewSpec
 from ..serving import (AdmissionPolicy, ArrivalSpec, BATCH, INTERACTIVE,
-                       WorkloadDriver, WorkloadSpec)
+                       WorkloadSpec)
 from ..sim.disk import DiskParams
-from ..sim.network import NetworkParams
-from ..workloads.scenarios import pipeline_chain_scenario
+from ..sim.machine import MachineConfig
+from ..workloads.scenarios import io_heavy_chain_population
 from .config import ExperimentOptions, scaled_execution_params
-from .parallel import parallel_map
+from .registry import register_experiment
 from .reporting import format_table
 
 __all__ = ["ServiceClassSweepResult", "run", "PAPER_EXPECTATION",
@@ -269,27 +267,14 @@ class ServiceClassSweepResult:
 
 def io_heavy_plans(nodes: int = 2, processors_per_node: int = 4,
                    base_tuples: int = 2000):
-    """A mixed, disk-dominated plan population for the I/O-heavy sweep.
-
-    Pipeline chains of different depths and driving cardinalities over
-    one machine shape, so concurrent queries overlap distinct scans on
-    the shared arms (distinct streams are what make a disk queue).
-    Returns ``(plans, config)``.
-    """
-    shapes = (
-        (2, (3 * base_tuples) // 2),
-        (3, base_tuples),
-        (4, (5 * base_tuples) // 4),
+    """The disk-dominated plan population — see
+    :func:`repro.workloads.scenarios.io_heavy_chain_population` (kept
+    here as a shim for its original import path).  Returns
+    ``(plans, config)``."""
+    return io_heavy_chain_population(
+        nodes=nodes, processors_per_node=processors_per_node,
+        base_tuples=base_tuples,
     )
-    plans = []
-    config = None
-    for chain_joins, tuples in shapes:
-        plan, config = pipeline_chain_scenario(
-            nodes=nodes, processors_per_node=processors_per_node,
-            base_tuples=tuples, chain_joins=chain_joins,
-        )
-        plans.append(plan)
-    return plans, config
 
 
 def io_heavy_params(options: ExperimentOptions, disk_discipline: str,
@@ -317,8 +302,145 @@ def io_heavy_params(options: ExperimentOptions, disk_discipline: str,
     )
 
 
-def _cells_from(metrics, discipline: str, mpl: int,
-                bandwidth: Optional[float] = None) -> list[ClassCell]:
+# ---------------------------------------------------------------------------
+# Scenario construction: four sweeps over one base cell
+# ---------------------------------------------------------------------------
+
+
+def _class_mix(interactive_slo: float,
+               batch_queue_timeout: Optional[float] = None):
+    """The interactive/batch population of every column."""
+    interactive = dataclasses.replace(INTERACTIVE, latency_slo=interactive_slo)
+    batch = BATCH
+    if batch_queue_timeout is not None:
+        batch = dataclasses.replace(BATCH, queue_timeout=batch_queue_timeout)
+    return ((interactive, 1.0), (batch, 2.0))
+
+
+def sweep_specs(options: ExperimentOptions,
+                mpl_levels: Sequence[int] = MPL_LEVELS,
+                disciplines: Sequence[str] = DISCIPLINES,
+                nodes: int = 2, processors_per_node: int = 4,
+                base_tuples: int = 2000,
+                queries_per_cell: int = 18,
+                interactive_slo: float = 0.3,
+                overload: bool = True,
+                io_sweep: bool = True,
+                io_mpl_levels: Sequence[int] = IO_MPL_LEVELS,
+                io_base_tuples: Optional[int] = None,
+                net_sweep: bool = True,
+                net_bandwidths: Sequence[float] = NET_BANDWIDTHS,
+                charge_quantum: str = "tuple") -> list[SweepSpec]:
+    """The experiment as data: one :class:`SweepSpec` per column."""
+    cluster = MachineConfig(nodes=nodes,
+                            processors_per_node=processors_per_node)
+    closed_base = ScenarioSpec(
+        cluster=cluster,
+        params=scaled_execution_params(
+            scale=options.scale,
+            skew=SkewSpec.uniform_redistribution(0.8),
+            seed=options.seed,
+            charge_quantum=charge_quantum,
+        ),
+        workload=WorkloadSpec(
+            queries=queries_per_cell,
+            arrival=ArrivalSpec(kind="closed", population=1),
+            policy=AdmissionPolicy(max_multiprogramming=1),
+            classes=_class_mix(interactive_slo),
+            seed=options.seed,
+        ),
+        plans=PlanSpec(kind="pipeline_chain", base_tuples=base_tuples),
+        label="classes-closed",
+    )
+    sweeps = [SweepSpec(
+        base=closed_base,
+        axes=(("params.cpu_discipline", tuple(disciplines)),
+              ("mpl", tuple(mpl_levels))),
+        label="classes-closed",
+    )]
+    if overload:
+        # Offered load far above capacity (a whole burst arrives in a
+        # fraction of one query's service time, MPL 1): admission must
+        # shed, not queue without bound.  Batch tolerates a queue up to
+        # its timeout; interactive is shed the moment its SLO can no
+        # longer be met.
+        overload_base = dataclasses.replace(
+            closed_base,
+            workload=WorkloadSpec(
+                queries=queries_per_cell,
+                arrival=ArrivalSpec(kind="bursty", rate=400.0, burst_size=16),
+                policy=AdmissionPolicy(max_multiprogramming=1,
+                                       deadline_shedding=True),
+                classes=_class_mix(interactive_slo, batch_queue_timeout=0.4),
+                seed=options.seed,
+            ),
+            label="classes-overload",
+        )
+        sweeps.append(SweepSpec(
+            base=overload_base,
+            axes=(("params.cpu_discipline", tuple(disciplines)),),
+            label="classes-overload",
+        ))
+    if io_sweep:
+        io_base = dataclasses.replace(
+            closed_base,
+            params=dataclasses.replace(
+                io_heavy_params(options, disk_discipline="fifo"),
+                charge_quantum=charge_quantum,
+            ),
+            plans=PlanSpec(kind="io_heavy",
+                           base_tuples=io_base_tuples or base_tuples),
+            label="classes-io",
+        )
+        sweeps.append(SweepSpec(
+            base=io_base,
+            axes=(("params.disk_discipline", tuple(disciplines)),
+                  ("mpl", tuple(io_mpl_levels))),
+            label="classes-io",
+        ))
+    if net_sweep:
+        # The link is the variable: CPU and disks stay FIFO, the
+        # interconnect gets finite bandwidth + the swept discipline.
+        net_base = dataclasses.replace(
+            closed_base,
+            workload=dataclasses.replace(
+                closed_base.workload,
+                arrival=ArrivalSpec(kind="closed", population=NET_MPL),
+                policy=AdmissionPolicy(max_multiprogramming=NET_MPL),
+            ),
+            label="classes-net",
+        )
+        sweeps.append(SweepSpec(
+            base=net_base,
+            axes=(("params.network.bandwidth", tuple(net_bandwidths)),
+                  ("params.net_discipline", tuple(disciplines))),
+            label="classes-net",
+        ))
+    return sweeps
+
+
+def _cell_kind(scenario: ScenarioSpec) -> str:
+    """Which column a cell belongs to — read straight off the spec."""
+    if scenario.plans.kind == "io_heavy":
+        return "io"
+    if scenario.params.network.bandwidth is not None:
+        return "net"
+    if scenario.workload.arrival.open_loop:
+        return "overload"
+    return "closed"
+
+
+def _collect_cells(result: RunResult) -> list[ClassCell]:
+    """Reduce one cell's run to per-class rows (runs in the worker)."""
+    scenario = result.scenario
+    kind = _cell_kind(scenario)
+    params = scenario.params
+    discipline = {"io": params.disk_discipline,
+                  "net": params.net_discipline}.get(kind,
+                                                    params.cpu_discipline)
+    mpl = scenario.workload.policy.max_multiprogramming
+    bandwidth = params.network.bandwidth if kind == "net" else None
+    metrics = result.metrics
     cells = []
     for name in metrics.class_names():
         waits = metrics.class_resource_waits(name)
@@ -340,93 +462,12 @@ def _cells_from(metrics, discipline: str, mpl: int,
     return cells
 
 
-@dataclass(frozen=True)
-class _CellSpec:
-    """One independent sweep cell, picklable for the process pool.
-
-    Carries scalars only: the worker rebuilds the (deterministic) plan
-    population and parameters from them, so a cell computes the exact
-    result it would in-process, in any process, in any order.
-    """
-
-    kind: str            # "closed" | "overload" | "io" | "net"
-    discipline: str
-    mpl: int
-    nodes: int
-    processors_per_node: int
-    base_tuples: int
-    queries: int
-    interactive_slo: float
-    scale: float
-    seed: int
-    charge_quantum: str
-    bandwidth: Optional[float] = None
-
-
-def _run_cell(spec: _CellSpec) -> list[ClassCell]:
-    """Execute one sweep cell (the ``parallel_map`` worker)."""
-    options = ExperimentOptions(scale=spec.scale, seed=spec.seed)
-    interactive = dataclasses.replace(INTERACTIVE,
-                                      latency_slo=spec.interactive_slo)
-    if spec.kind == "io":
-        plans, config = io_heavy_plans(
-            nodes=spec.nodes, processors_per_node=spec.processors_per_node,
-            base_tuples=spec.base_tuples,
-        )
-        params = io_heavy_params(options, disk_discipline=spec.discipline)
-        params = dataclasses.replace(params,
-                                     charge_quantum=spec.charge_quantum)
-    else:
-        plans, config = pipeline_chain_scenario(
-            nodes=spec.nodes, processors_per_node=spec.processors_per_node,
-            base_tuples=spec.base_tuples,
-        )
-        overrides = dict(cpu_discipline=spec.discipline)
-        if spec.kind == "net":
-            # The link is the variable: CPU and disks stay FIFO, the
-            # interconnect gets finite bandwidth + the swept discipline.
-            overrides = dict(cpu_discipline="fifo",
-                             net_discipline=spec.discipline)
-        params = scaled_execution_params(
-            scale=spec.scale,
-            skew=SkewSpec.uniform_redistribution(0.8),
-            seed=spec.seed,
-            charge_quantum=spec.charge_quantum,
-            **overrides,
-        )
-        if spec.kind == "net":
-            params = dataclasses.replace(params, network=NetworkParams(
-                transmission_delay=0.5e-3 * spec.scale,
-                bandwidth=spec.bandwidth,
-            ))
-    if spec.kind == "overload":
-        # Offered load far above capacity (a whole burst arrives in a
-        # fraction of one query's service time, MPL 1): admission must
-        # shed, not queue without bound.  Batch tolerates a queue up to
-        # its timeout; interactive is shed the moment its SLO can no
-        # longer be met.
-        batch = dataclasses.replace(BATCH, queue_timeout=0.4)
-        workload = WorkloadSpec(
-            queries=spec.queries,
-            arrival=ArrivalSpec(kind="bursty", rate=400.0, burst_size=16),
-            policy=AdmissionPolicy(max_multiprogramming=1,
-                                   deadline_shedding=True),
-            classes=((interactive, 1.0), (batch, 2.0)),
-            seed=spec.seed,
-        )
-    else:
-        workload = WorkloadSpec(
-            queries=spec.queries,
-            arrival=ArrivalSpec(kind="closed", population=spec.mpl),
-            policy=AdmissionPolicy(max_multiprogramming=spec.mpl),
-            classes=((interactive, 1.0), (BATCH, 2.0)),
-            seed=spec.seed,
-        )
-    metrics = WorkloadDriver(plans, config, workload, params).run().metrics
-    return _cells_from(metrics, spec.discipline, spec.mpl,
-                       bandwidth=spec.bandwidth)
-
-
+@register_experiment(
+    "classes",
+    "Service classes: CPU discipline x MPL (machine-scheduler layer)",
+    expectation=PAPER_EXPECTATION,
+    accepts=("processes", "charge_quantum"),
+)
 def run(options: Optional[ExperimentOptions] = None,
         mpl_levels: Sequence[int] = MPL_LEVELS,
         disciplines: Sequence[str] = DISCIPLINES,
@@ -453,50 +494,30 @@ def run(options: Optional[ExperimentOptions] = None,
     0 = one per core) — results are identical either way.
     """
     options = options or ExperimentOptions()
+    sweeps = sweep_specs(
+        options, mpl_levels=mpl_levels, disciplines=disciplines,
+        nodes=nodes, processors_per_node=processors_per_node,
+        base_tuples=base_tuples, queries_per_cell=queries_per_cell,
+        interactive_slo=interactive_slo, overload=overload,
+        io_sweep=io_sweep, io_mpl_levels=io_mpl_levels,
+        io_base_tuples=io_base_tuples, net_sweep=net_sweep,
+        net_bandwidths=net_bandwidths, charge_quantum=charge_quantum,
+    )
+    scenarios = [cell for sweep in sweeps for cell in sweep.cells()]
+    results = run_scenarios(scenarios, processes=processes,
+                            collect=_collect_cells)
 
-    def spec(kind: str, discipline: str, mpl: int,
-             bandwidth: Optional[float] = None,
-             tuples: Optional[int] = None) -> _CellSpec:
-        return _CellSpec(
-            kind=kind, discipline=discipline, mpl=mpl, nodes=nodes,
-            processors_per_node=processors_per_node,
-            base_tuples=tuples or base_tuples, queries=queries_per_cell,
-            interactive_slo=interactive_slo, scale=options.scale,
-            seed=options.seed, charge_quantum=charge_quantum,
-            bandwidth=bandwidth,
-        )
-
-    specs: list[_CellSpec] = []
-    for discipline in disciplines:
-        for mpl in mpl_levels:
-            specs.append(spec("closed", discipline, mpl))
-        if overload:
-            specs.append(spec("overload", discipline, 1))
-    if io_sweep:
-        for discipline in disciplines:
-            for mpl in io_mpl_levels:
-                specs.append(spec("io", discipline, mpl,
-                                  tuples=io_base_tuples or base_tuples))
-    if net_sweep:
-        for bandwidth in net_bandwidths:
-            for discipline in disciplines:
-                specs.append(spec("net", discipline, NET_MPL,
-                                  bandwidth=bandwidth))
-
-    results = parallel_map(_run_cell, specs, processes=processes)
-
-    cells: list[ClassCell] = []
-    overload_cells: list[ClassCell] = []
-    io_cells: list[ClassCell] = []
-    net_cells: list[ClassCell] = []
-    buckets = {"closed": cells, "overload": overload_cells,
-               "io": io_cells, "net": net_cells}
-    for cell_spec, cell_list in zip(specs, results):
-        buckets[cell_spec.kind].extend(cell_list)
+    buckets: dict[str, list[ClassCell]] = {
+        "closed": [], "overload": [], "io": [], "net": [],
+    }
+    for scenario, cell_list in zip(scenarios, results):
+        buckets[_cell_kind(scenario)].extend(cell_list)
     return ServiceClassSweepResult(
-        cells=tuple(cells), overload_cells=tuple(overload_cells),
-        options=options, io_cells=tuple(io_cells),
-        net_cells=tuple(net_cells),
+        cells=tuple(buckets["closed"]),
+        overload_cells=tuple(buckets["overload"]),
+        options=options,
+        io_cells=tuple(buckets["io"]),
+        net_cells=tuple(buckets["net"]),
     )
 
 

@@ -7,11 +7,16 @@ multiprogramming level (MPL), the redistribution skew and the execution
 strategy, and reading back workload-level observables — throughput, p95
 latency, mean queueing delay, CPU contention and per-query steal traffic.
 
-Queries are drawn from the paper's own mixed plan population
-(:func:`repro.workloads.plans.build_workload`, the Section 5.1.2
-construction: 30–60-minute-band bushy plans), so concurrent queries have
-genuinely different shapes and sizes — not sixteen copies of the Section
-5.3 chain.  Pass ``plans=[...]`` to sweep an explicit population instead
+The grid is data, not code: one base
+:class:`~repro.api.spec.ScenarioSpec` (cluster, engine params, workload,
+plan population) plus a :class:`~repro.api.sweep.SweepSpec` with
+``skew`` / ``strategy`` / ``mpl`` axes; the generic grid runner
+materializes the cells and fans them over
+:func:`repro.experiments.parallel.parallel_map`.  Queries come from the
+paper's own mixed plan population (``PlanSpec(kind="workload_mix")``,
+the Section 5.1.2 construction: 30–60-minute-band bushy plans), so
+concurrent queries have genuinely different shapes and sizes.  Pass
+``plans=[...]`` to sweep an explicit population instead
 (``pipeline_chain_scenario`` reproduces the old behaviour).
 
 Expected shape: the paper's Section 5.3 single-query ordering (DP over FP
@@ -27,19 +32,19 @@ drivers are where admission queueing appears (see the serving tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Optional, Sequence
 
-from ..catalog.skew import SkewSpec
-from ..serving import AdmissionPolicy, ArrivalSpec, WorkloadDriver, WorkloadSpec
+from ..api.facade import RunResult, run as run_scenario
+from ..api.spec import PlanSpec, ScenarioSpec
+from ..api.sweep import SweepSpec, run_sweep
+from ..serving import AdmissionPolicy, ArrivalSpec, WorkloadSpec
 from ..sim.machine import MachineConfig
-from ..workloads.plans import build_workload
 from .config import ExperimentOptions, scaled_execution_params
-from .parallel import parallel_map
+from .registry import register_experiment
 from .reporting import format_table
 
-__all__ = ["WorkloadSweepResult", "run", "PAPER_EXPECTATION",
-           "MPL_LEVELS", "SKEW_LEVELS", "STRATEGIES"]
+__all__ = ["WorkloadSweepResult", "run", "base_scenario", "sweep_spec",
+           "PAPER_EXPECTATION", "MPL_LEVELS", "SKEW_LEVELS", "STRATEGIES"]
 
 #: multiprogramming levels on the sweep's x-axis.
 MPL_LEVELS = (1, 2, 4, 8)
@@ -117,44 +122,62 @@ class WorkloadSweepResult:
         return "\n\n".join(blocks)
 
 
-@dataclass(frozen=True)
-class _CellSpec:
-    """One independent (strategy, skew, MPL) cell, picklable for the pool."""
-
-    strategy: str
-    skew: float
-    mpl: int
-    nodes: int
-    processors_per_node: int
-    queries: int
-    plan_count: int
-    workload_queries: int
-    scale: float
-    seed: int
-    charge_quantum: str
-
-
-@lru_cache(maxsize=4)
-def _cached_plans(nodes: int, processors_per_node: int, plan_count: int,
-                  workload_queries: int, scale: float, seed: int):
-    """Per-process plan-population cache: the Section 5.1.2 compilation is
-    deterministic in these scalars, so workers rebuild it once each."""
-    from ..workloads.plans import WorkloadConfig
-    config = MachineConfig(nodes=nodes,
-                           processors_per_node=processors_per_node)
-    workload = build_workload(config, WorkloadConfig(
-        queries=workload_queries, scale=scale, seed=seed,
-    ))
-    return workload.plans[:plan_count], config
+def base_scenario(options: ExperimentOptions,
+                  nodes: int = 4, processors_per_node: int = 8,
+                  queries_per_cell: int = 16,
+                  charge_quantum: str = "tuple") -> ScenarioSpec:
+    """The sweep's base cell: MPL 1, no skew, DP, the 5.1.2 plan mix."""
+    return ScenarioSpec(
+        cluster=MachineConfig(nodes=nodes,
+                              processors_per_node=processors_per_node),
+        params=scaled_execution_params(
+            scale=options.scale, seed=options.seed,
+            charge_quantum=charge_quantum,
+        ),
+        workload=WorkloadSpec(
+            queries=queries_per_cell,
+            arrival=ArrivalSpec(kind="closed", population=1),
+            strategy="DP",
+            policy=AdmissionPolicy(max_multiprogramming=1),
+            seed=options.seed,
+        ),
+        plans=PlanSpec(
+            kind="workload_mix", plan_count=options.plans,
+            workload_queries=options.workload_queries,
+            scale=options.scale, seed=options.seed,
+        ),
+        label="workload-sweep",
+    )
 
 
-def _cell_from(metrics, strategy: str, skew: float, mpl: int) -> SweepCell:
-    """One cell's observables — the single metrics→cell mapping, shared
-    by the spec worker and the explicit-plans path."""
+def sweep_spec(options: ExperimentOptions,
+               mpl_levels: Sequence[int] = MPL_LEVELS,
+               skew_levels: Sequence[float] = SKEW_LEVELS,
+               strategies: Sequence[str] = STRATEGIES,
+               nodes: int = 4, processors_per_node: int = 8,
+               queries_per_cell: int = 16,
+               charge_quantum: str = "tuple") -> SweepSpec:
+    """The whole grid as data: base scenario × (skew, strategy, mpl) axes."""
+    return SweepSpec(
+        base=base_scenario(options, nodes=nodes,
+                           processors_per_node=processors_per_node,
+                           queries_per_cell=queries_per_cell,
+                           charge_quantum=charge_quantum),
+        axes=(("skew", tuple(skew_levels)),
+              ("strategy", tuple(strategies)),
+              ("mpl", tuple(mpl_levels))),
+        label="workload-sweep",
+    )
+
+
+def _collect_cell(result: RunResult) -> SweepCell:
+    """Reduce one cell's run to its observables (runs in the worker)."""
+    scenario = result.scenario
+    metrics = result.metrics
     return SweepCell(
-        strategy=strategy,
-        skew=skew,
-        mpl=mpl,
+        strategy=scenario.workload.strategy,
+        skew=scenario.params.skew.redistribution,
+        mpl=scenario.workload.policy.max_multiprogramming,
         throughput=metrics.throughput(),
         p50_latency=metrics.p50_latency,
         p95_latency=metrics.p95_latency,
@@ -165,30 +188,12 @@ def _cell_from(metrics, strategy: str, skew: float, mpl: int) -> SweepCell:
     )
 
 
-def _run_cell(spec: _CellSpec) -> SweepCell:
-    """Execute one sweep cell (the ``parallel_map`` worker)."""
-    plans, config = _cached_plans(
-        spec.nodes, spec.processors_per_node, spec.plan_count,
-        spec.workload_queries, spec.scale, spec.seed,
-    )
-    params = scaled_execution_params(
-        scale=spec.scale,
-        skew=(SkewSpec.uniform_redistribution(spec.skew) if spec.skew > 0
-              else SkewSpec.none()),
-        seed=spec.seed,
-        charge_quantum=spec.charge_quantum,
-    )
-    workload = WorkloadSpec(
-        queries=spec.queries,
-        arrival=ArrivalSpec(kind="closed", population=spec.mpl),
-        strategy=spec.strategy,
-        policy=AdmissionPolicy(max_multiprogramming=spec.mpl),
-        seed=spec.seed,
-    )
-    metrics = WorkloadDriver(plans, config, workload, params).run().metrics
-    return _cell_from(metrics, spec.strategy, spec.skew, spec.mpl)
-
-
+@register_experiment(
+    "workload",
+    "Workload sweep: MPL x skew x strategy (serving layer)",
+    expectation=PAPER_EXPECTATION,
+    accepts=("processes", "charge_quantum"),
+)
 def run(options: Optional[ExperimentOptions] = None,
         mpl_levels: Sequence[int] = MPL_LEVELS,
         skew_levels: Sequence[float] = SKEW_LEVELS,
@@ -210,48 +215,21 @@ def run(options: Optional[ExperimentOptions] = None,
     identical either way.
     """
     options = options or ExperimentOptions()
+    sweep = sweep_spec(
+        options, mpl_levels=mpl_levels, skew_levels=skew_levels,
+        strategies=strategies, nodes=nodes,
+        processors_per_node=processors_per_node,
+        queries_per_cell=queries_per_cell, charge_quantum=charge_quantum,
+    )
     if plans is not None:
         # An explicit plan population cannot be shipped to workers (it
         # may be arbitrary, unpicklable objects): run it in-process.
-        config = MachineConfig(nodes=nodes,
-                               processors_per_node=processors_per_node)
-        cells = []
-        for skew in skew_levels:
-            params = scaled_execution_params(
-                scale=options.scale,
-                skew=(SkewSpec.uniform_redistribution(skew) if skew > 0
-                      else SkewSpec.none()),
-                seed=options.seed,
-                charge_quantum=charge_quantum,
-            )
-            for strategy in strategies:
-                for mpl in mpl_levels:
-                    spec = WorkloadSpec(
-                        queries=queries_per_cell,
-                        arrival=ArrivalSpec(kind="closed", population=mpl),
-                        strategy=strategy,
-                        policy=AdmissionPolicy(max_multiprogramming=mpl),
-                        seed=options.seed,
-                    )
-                    metrics = WorkloadDriver(
-                        plans, config, spec, params
-                    ).run().metrics
-                    cells.append(_cell_from(metrics, strategy, skew, mpl))
+        cells = [
+            _collect_cell(run_scenario(scenario, plans=list(plans)))
+            for scenario in sweep.cells()
+        ]
         return WorkloadSweepResult(cells=tuple(cells), options=options)
-    specs = [
-        _CellSpec(
-            strategy=strategy, skew=skew, mpl=mpl, nodes=nodes,
-            processors_per_node=processors_per_node,
-            queries=queries_per_cell, plan_count=options.plans,
-            workload_queries=options.workload_queries,
-            scale=options.scale, seed=options.seed,
-            charge_quantum=charge_quantum,
-        )
-        for skew in skew_levels
-        for strategy in strategies
-        for mpl in mpl_levels
-    ]
-    cells = parallel_map(_run_cell, specs, processes=processes)
+    cells = run_sweep(sweep, processes=processes, collect=_collect_cell)
     return WorkloadSweepResult(cells=tuple(cells), options=options)
 
 

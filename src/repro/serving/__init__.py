@@ -26,7 +26,30 @@ adds the missing regime — multiprogramming — without forking the engine:
   :class:`~repro.engine.metrics.WorkloadMetrics`
   (:mod:`repro.serving.driver`).
 
+The declarative surface over all of this is :mod:`repro.api`: a
+:class:`~repro.api.spec.ScenarioSpec` composes a cluster, engine params
+and a :class:`WorkloadSpec` into one serializable tree, and
+``repro.run(scenario)`` does the wiring below.
+
 Quickstart::
+
+    import repro
+    from repro.api import PlanSpec, ScenarioSpec
+    from repro.serving import ArrivalSpec, WorkloadSpec
+    from repro.sim import MachineConfig
+
+    scenario = ScenarioSpec(
+        cluster=MachineConfig(nodes=2, processors_per_node=4),
+        workload=WorkloadSpec(
+            queries=16, arrival=ArrivalSpec(kind="closed", population=8)
+        ),
+        plans=PlanSpec(kind="pipeline_chain"),
+    )
+    result = repro.run(scenario)
+    print(result.metrics.throughput(), result.metrics.p95_latency)
+
+The driver remains the underlying engine (and takes explicit plan
+objects directly)::
 
     from repro.serving import ArrivalSpec, WorkloadDriver, WorkloadSpec
     from repro.workloads import pipeline_chain_scenario

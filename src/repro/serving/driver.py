@@ -18,6 +18,7 @@ sequence)`` heap.  Two identical runs produce byte-identical
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
@@ -56,8 +57,16 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         if self.queries < 1:
             raise ValueError(f"queries must be >= 1, got {self.queries}")
-        if any(fraction <= 0 for _cls, fraction in self.classes):
-            raise ValueError("class proportions must be positive")
+        if self.strategy not in ("DP", "FP", "SP"):
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                "expected 'DP', 'FP' or 'SP'"
+            )
+        if any(
+            fraction <= 0 or not math.isfinite(fraction)
+            for _cls, fraction in self.classes
+        ):
+            raise ValueError("class proportions must be positive and finite")
 
 
 @dataclass

@@ -1,12 +1,17 @@
 """Canned workloads: the 40-plan population and the paper's examples."""
 
 from .plans import Workload, WorkloadConfig, build_workload
-from .scenarios import pipeline_chain_scenario, two_node_join_scenario
+from .scenarios import (
+    io_heavy_chain_population,
+    pipeline_chain_scenario,
+    two_node_join_scenario,
+)
 
 __all__ = [
     "Workload",
     "WorkloadConfig",
     "build_workload",
+    "io_heavy_chain_population",
     "pipeline_chain_scenario",
     "two_node_join_scenario",
 ]

@@ -14,6 +14,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..catalog.partitioning import place_relation
 from ..catalog.relation import Relation
 from ..optimizer.cost import CardinalityEstimator, CostModel
@@ -29,19 +31,32 @@ from ..optimizer.scheduling import build_schedule
 from ..query.graph import JoinEdge, QueryGraph
 from ..sim.machine import MachineConfig
 
-__all__ = ["two_node_join_scenario", "pipeline_chain_scenario"]
+__all__ = ["two_node_join_scenario", "pipeline_chain_scenario",
+           "io_heavy_chain_population"]
 
 
 def two_node_join_scenario(r_tuples: int = 4000, s_tuples: int = 8000,
                            processors_per_node: int = 2,
+                           config: Optional[MachineConfig] = None,
                            ) -> tuple[ParallelExecutionPlan, MachineConfig]:
     """The Section 3.3 example: R stored at node A, S at node B.
 
     The join's home is node B (where S lives), so node A's threads only
     scan R and ship its tuples to B's build queues; B's threads switch
     between scanning S, building, and probing as flow control dictates.
+    ``config`` overrides the default machine (it must have 2 nodes); the
+    plan compiles against its page size and memory model.
     Returns ``(plan, machine_config)``.
     """
+    if config is None:
+        config = MachineConfig(nodes=2,
+                               processors_per_node=processors_per_node)
+    if config.nodes != 2:
+        raise ValueError(
+            f"the two-node scenario needs a 2-node machine, got "
+            f"{config.nodes} nodes"
+        )
+    processors_per_node = config.processors_per_node
     selectivity = 1.0 / r_tuples  # |R join S| = |S|
     relations = [Relation("R", r_tuples), Relation("S", s_tuples)]
     graph = QueryGraph(relations, [JoinEdge("R", "S", selectivity)])
@@ -49,7 +64,6 @@ def two_node_join_scenario(r_tuples: int = 4000, s_tuples: int = 8000,
         BaseNode(graph.relation("R")), BaseNode(graph.relation("S")),
         selectivity,
     )
-    config = MachineConfig(nodes=2, processors_per_node=processors_per_node)
 
     cost_model = CostModel()
     estimator = CardinalityEstimator(graph)
@@ -80,6 +94,7 @@ def two_node_join_scenario(r_tuples: int = 4000, s_tuples: int = 8000,
 def pipeline_chain_scenario(nodes: int = 4, processors_per_node: int = 8,
                             base_tuples: int = 4000,
                             chain_joins: int = 4,
+                            config: Optional[MachineConfig] = None,
                             ) -> tuple[ParallelExecutionPlan, MachineConfig]:
     """The Section 5.3 substrate: one maximal pipeline chain of 5 operators.
 
@@ -87,7 +102,9 @@ def pipeline_chain_scenario(nodes: int = 4, processors_per_node: int = 8,
     relation, so the probing chain is ``scan -> probe * chain_joins`` —
     with the driving scan that is 5 operators for the default 4 joins.
     Selectivities keep every intermediate result at the driving relation's
-    cardinality (no blow-up, pure pipeline load).
+    cardinality (no blow-up, pure pipeline load).  ``config`` overrides
+    the default machine built from ``nodes``/``processors_per_node``, so
+    non-default cluster knobs (page size, memory) reach compilation.
     Returns ``(plan, machine_config)``.
     """
     if chain_joins < 1:
@@ -107,7 +124,9 @@ def pipeline_chain_scenario(nodes: int = 4, processors_per_node: int = 8,
     for name in reversed(names[:-1]):
         tree = JoinNode(BaseNode(graph.relation(name)), tree, selectivity)
 
-    config = MachineConfig(nodes=nodes, processors_per_node=processors_per_node)
+    if config is None:
+        config = MachineConfig(nodes=nodes,
+                               processors_per_node=processors_per_node)
     plan = compile_plan(graph, tree, config, label="sec5.3-chain")
 
     # The probing chain must be the 5 operators of the paper's experiment.
@@ -117,3 +136,31 @@ def pipeline_chain_scenario(nodes: int = 4, processors_per_node: int = 8,
         f"expected a {chain_joins + 1}-operator chain, got {len(longest)}"
     )
     return plan, config
+
+
+def io_heavy_chain_population(nodes: int = 2, processors_per_node: int = 4,
+                              base_tuples: int = 2000,
+                              config: Optional[MachineConfig] = None,
+                              ) -> tuple[list[ParallelExecutionPlan],
+                                         MachineConfig]:
+    """A mixed, disk-dominated plan population (the I/O-heavy sweep's).
+
+    Pipeline chains of different depths and driving cardinalities over
+    one machine shape, so concurrent queries overlap distinct scans on
+    the shared arms (distinct streams are what make a disk queue).
+    ``config`` overrides the default machine, as in
+    :func:`pipeline_chain_scenario`.  Returns ``(plans, config)``.
+    """
+    shapes = (
+        (2, (3 * base_tuples) // 2),
+        (3, base_tuples),
+        (4, (5 * base_tuples) // 4),
+    )
+    plans = []
+    for chain_joins, tuples in shapes:
+        plan, config = pipeline_chain_scenario(
+            nodes=nodes, processors_per_node=processors_per_node,
+            base_tuples=tuples, chain_joins=chain_joins, config=config,
+        )
+        plans.append(plan)
+    return plans, config

@@ -1,0 +1,309 @@
+"""Sweep/registry/CLI tests: grids as data, spec-driven experiments.
+
+Pins the redesign's equivalence criterion for sweeps: the ``SweepSpec``
+grid produces exactly the measurements the bespoke pre-API cell plumbing
+produced (same cells, same order, same numbers), and the experiment
+registry drives the runner with validated CLI options.
+"""
+
+import dataclasses
+import io
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    apply_axis,
+    run_sweep,
+    sweep_table,
+)
+from repro.api.cli import main as cli_main
+from repro.catalog.skew import SkewSpec
+from repro.experiments import service_class_sweep, workload_sweep
+from repro.experiments.config import ExperimentOptions
+from repro.experiments.registry import REGISTRY, register_experiment
+from repro.experiments.runner import EXPERIMENTS, main as runner_main, run_all
+from repro.serving import AdmissionPolicy, ArrivalSpec, WorkloadDriver, WorkloadSpec
+from repro.sim.machine import MachineConfig
+
+TINY = ExperimentOptions(plans=2, workload_queries=2)
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+
+class TestSweepSpec:
+    def test_points_are_row_major(self):
+        sweep = SweepSpec(axes=(("strategy", ("DP", "FP")), ("mpl", (1, 2))))
+        assert sweep.points() == (
+            {"strategy": "DP", "mpl": 1},
+            {"strategy": "DP", "mpl": 2},
+            {"strategy": "FP", "mpl": 1},
+            {"strategy": "FP", "mpl": 2},
+        )
+
+    def test_dict_axes_normalize(self):
+        sweep = SweepSpec(axes={"mpl": [1, 2]})
+        assert sweep.axes == (("mpl", (1, 2)),)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepSpec(axes={"mpl": []})
+
+    def test_mpl_macro_sets_population_and_admission_cap(self):
+        cell = apply_axis(ScenarioSpec(), "mpl", 6)
+        assert cell.workload.arrival.population == 6
+        assert cell.workload.policy.max_multiprogramming == 6
+
+    def test_skew_macro_sets_redistribution(self):
+        cell = apply_axis(ScenarioSpec(), "skew", 0.8)
+        assert cell.params.skew == SkewSpec.uniform_redistribution(0.8)
+
+    def test_dotted_axis_reaches_nested_fields(self):
+        cell = apply_axis(ScenarioSpec(), "params.network.bandwidth", 8e6)
+        assert cell.params.network.bandwidth == 8e6
+
+    def test_invalid_axis_value_fails_at_cell_construction(self):
+        sweep = SweepSpec(axes={"params.cpu_discipline": ["fifo", "wrong"]})
+        with pytest.raises(ValueError, match="cpu_discipline"):
+            sweep.cells()
+
+    def test_round_trip(self):
+        sweep = SweepSpec(
+            base=ScenarioSpec(label="base"),
+            axes={"strategy": ["DP", "FP"], "mpl": [2, 8]},
+            label="grid",
+        )
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+    def test_non_scalar_axis_value_not_serializable(self):
+        sweep = SweepSpec(axes=(("params.skew", (SkewSpec.none(),)),))
+        with pytest.raises(SpecError, match="non-scalar"):
+            sweep.to_dict()
+
+    def test_unknown_sweep_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            SweepSpec.from_dict({"bases": {}})
+
+    def test_axis_values_must_be_an_array(self):
+        # A bare string would otherwise split into per-character cells.
+        with pytest.raises(SpecError, match="array of values"):
+            SweepSpec.from_dict({"axes": {"strategy": "DP"}})
+        with pytest.raises(SpecError, match="array of values"):
+            SweepSpec.from_dict({"axes": {"mpl": 8}})
+
+    def test_sweep_table_zips_points_with_rows(self):
+        sweep = SweepSpec(axes={"mpl": [1, 2]})
+        table = sweep_table(sweep, ["a", "b"])
+        assert table == [({"mpl": 1}, "a"), ({"mpl": 2}, "b")]
+        with pytest.raises(ValueError, match="2 cells"):
+            sweep_table(sweep, ["a"])
+
+
+class TestWorkloadSweepEquivalence:
+    def test_grid_matches_hand_wired_legacy_cells(self):
+        """The SweepSpec grid == what the pre-API wiring produced."""
+        result = workload_sweep.run(
+            TINY, mpl_levels=(1, 2), skew_levels=(0.8,), strategies=("DP",),
+            nodes=2, processors_per_node=2, queries_per_cell=4,
+        )
+        assert len(result.cells) == 2
+        sweep = workload_sweep.sweep_spec(
+            TINY, mpl_levels=(1, 2), skew_levels=(0.8,), strategies=("DP",),
+            nodes=2, processors_per_node=2, queries_per_cell=4,
+        )
+        for cell, scenario in zip(result.cells, sweep.cells()):
+            # Rebuild the legacy wiring by hand for this cell.
+            from repro.api import build_plans
+
+            legacy = WorkloadDriver(
+                list(build_plans(scenario)), scenario.cluster,
+                scenario.workload, scenario.params,
+            ).run().metrics
+            assert cell.throughput == legacy.throughput()
+            assert cell.p95_latency == legacy.p95_latency
+            assert cell.steal_bytes == legacy.total_steal_bytes()
+            assert cell.mpl == scenario.workload.policy.max_multiprogramming
+            assert cell.strategy == scenario.workload.strategy
+            assert cell.skew == scenario.params.skew.redistribution
+
+    def test_explicit_plans_path_equals_declared_population(self):
+        from repro.workloads import pipeline_chain_scenario
+
+        plan, _config = pipeline_chain_scenario(
+            nodes=2, processors_per_node=2, base_tuples=800
+        )
+        explicit = workload_sweep.run(
+            TINY, mpl_levels=(2,), skew_levels=(0.8,), strategies=("DP",),
+            nodes=2, processors_per_node=2, queries_per_cell=4,
+            plans=[plan],
+        )
+        assert len(explicit.cells) == 1
+        assert explicit.cells[0].mpl == 2
+
+
+class TestServiceClassSweepSpecs:
+    def test_columns_are_derivable_from_the_specs(self):
+        sweeps = service_class_sweep.sweep_specs(
+            TINY, mpl_levels=(2,), disciplines=("fifo",),
+            nodes=2, processors_per_node=2, base_tuples=700,
+            queries_per_cell=4,
+        )
+        kinds = [service_class_sweep._cell_kind(sweep.cells()[0])
+                 for sweep in sweeps]
+        assert kinds == ["closed", "overload", "io", "net"]
+        # Every cell of every column round-trips as pure data.
+        for sweep in sweeps:
+            for cell in sweep.cells():
+                assert ScenarioSpec.from_json(cell.to_json()) == cell
+
+    def test_net_cells_carry_bandwidth_axis(self):
+        sweeps = service_class_sweep.sweep_specs(
+            TINY, mpl_levels=(2,), disciplines=("fifo", "priority"),
+            nodes=2, processors_per_node=2, base_tuples=700,
+            queries_per_cell=4, overload=False, io_sweep=False,
+            net_bandwidths=(8e6,),
+        )
+        net = sweeps[-1]
+        cells = net.cells()
+        assert len(cells) == 2
+        assert {c.params.net_discipline for c in cells} == {"fifo", "priority"}
+        assert all(c.params.network.bandwidth == 8e6 for c in cells)
+        assert all(c.params.cpu_discipline == "fifo" for c in cells)
+
+
+class TestRegistry:
+    def test_registry_is_the_experiments_table(self):
+        assert EXPERIMENTS is REGISTRY
+        assert set(EXPERIMENTS) == {
+            "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
+            "workload", "classes",
+        }
+
+    def test_presentation_order_params_first(self):
+        assert list(EXPERIMENTS)[0] == "params"
+
+    def test_sweeps_declare_their_extra_knobs(self):
+        for name in ("workload", "classes"):
+            assert EXPERIMENTS[name].accepts == ("processes", "charge_quantum")
+        assert EXPERIMENTS["fig6"].accepts == ()
+
+    def test_expectations_registered(self):
+        assert "DP" in EXPERIMENTS["workload"].expectation
+        assert EXPERIMENTS["params"].expectation
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            register_experiment("params", "again")(lambda options: "")
+
+    def test_main_module_reregistration_is_ignored(self):
+        """``python -m repro.experiments.workload_sweep`` executes the
+        module a second time as ``__main__``; its re-registrations must
+        not clobber (or crash on) the canonical package entries."""
+        def fake(options):
+            return ""
+
+        fake.__module__ = "__main__"
+        canonical = EXPERIMENTS["workload"]
+        assert register_experiment("workload", "dup")(fake) is fake
+        assert EXPERIMENTS["workload"] is canonical
+
+    def test_run_all_rejects_unknown_programmatically(self):
+        with pytest.raises(ValueError, match="unknown experiments"):
+            run_all(TINY, only=["nope"], echo=False)
+
+    def test_runner_cli_validates_only_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(["--only", "not-an-experiment"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_run_all_params_report(self, tmp_path):
+        report = run_all(TINY, only=["params"], echo=False,
+                         output=str(tmp_path / "r.md"))
+        assert "17 ms" in report
+        assert (tmp_path / "r.md").exists()
+
+
+class TestScenarioCli:
+    def test_quickstart_scenario_runs(self):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = cli_main([str(SCENARIO_DIR / "quickstart.json")])
+        assert code == 0
+        assert "scenario quickstart [serving]" in out.getvalue()
+        assert "workload [" in out.getvalue()
+
+    def test_emit_spec_is_canonical(self):
+        path = SCENARIO_DIR / "quickstart.json"
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = cli_main([str(path), "--emit-spec"])
+        assert code == 0
+        assert out.getvalue() == path.read_text()
+
+    def test_missing_file_is_a_clean_error(self, capsys):
+        assert cli_main(["/nonexistent/scenario.json"]) == 2
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_invalid_scenario_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"mode": "nonsense"}')
+        assert cli_main([str(bad)]) == 2
+        assert "unknown mode" in capsys.readouterr().err
+
+    def test_run_time_scenario_error_is_a_clean_error(self, tmp_path, capsys):
+        # Fields validate independently but clash at build time: a
+        # two_node plan on a 4-node cluster must not dump a traceback.
+        bad = tmp_path / "clash.json"
+        bad.write_text(
+            '{"cluster": {"nodes": 4}, "plans": {"kind": "two_node"}}'
+        )
+        assert cli_main([str(bad)]) == 2
+        assert "2-node cluster" in capsys.readouterr().err
+
+    def test_single_query_scenario_with_metrics(self):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = cli_main(
+                [str(SCENARIO_DIR / "single_query.json"), "--metrics"]
+            )
+        assert code == 0
+        assert "result_tuples" in out.getvalue()
+
+
+class TestParallelSweepStillIdentical:
+    def test_parallel_equals_sequential_through_the_new_runner(self):
+        kwargs = dict(mpl_levels=(2,), queries_per_cell=4, nodes=2,
+                      processors_per_node=2, base_tuples=700,
+                      io_sweep=False, net_sweep=False, overload=False)
+        sequential = service_class_sweep.run(TINY, **kwargs)
+        parallel = service_class_sweep.run(TINY, processes=2, **kwargs)
+        assert sequential == parallel
+
+    def test_run_sweep_collect_runs_in_worker(self):
+        base = ScenarioSpec(
+            cluster=MachineConfig(nodes=2, processors_per_node=2),
+            workload=WorkloadSpec(
+                queries=2,
+                arrival=ArrivalSpec(kind="closed", population=1),
+                policy=AdmissionPolicy(max_multiprogramming=1),
+                seed=2,
+            ),
+            plans=dataclasses.replace(
+                ScenarioSpec().plans, base_tuples=600
+            ),
+        )
+        sweep = SweepSpec(base=base, axes={"mpl": [1, 2]})
+        rows = run_sweep(sweep, collect=_throughput_of)
+        assert len(rows) == 2
+        assert all(isinstance(row, float) and row > 0 for row in rows)
+        parallel_rows = run_sweep(sweep, processes=2, collect=_throughput_of)
+        assert rows == parallel_rows
+
+
+def _throughput_of(result):
+    """Module-level collector (must be picklable for the pool)."""
+    return result.metrics.throughput()
