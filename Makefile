@@ -10,6 +10,8 @@
 #                         lint job
 #   make determinism      run the figure/scenario experiments twice and diff
 #                         byte-for-byte against baselines/determinism.txt
+#   make trace-roundtrip  record three scenario shapes, replay each trace,
+#                         fail unless metrics are byte-identical
 #   make bench-smoke      one pass of the workload + kernel benchmarks
 #   make bench-kernel     kernel events/sec only (writes BENCH_kernel.json)
 #   make bench-macro      macro-charge batching + parallel sweep bench
@@ -21,8 +23,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check check-slow check-full lint determinism bench-smoke bench-kernel \
-	bench-macro bench-regression experiments
+.PHONY: check check-slow check-full lint determinism trace-roundtrip \
+	bench-smoke bench-kernel bench-macro bench-regression experiments
 
 check:
 	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q
@@ -38,6 +40,9 @@ lint:
 
 determinism:
 	$(PYTHON) scripts/check_determinism.py
+
+trace-roundtrip:
+	$(PYTHON) scripts/check_trace_roundtrip.py
 
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_workload.py bench_kernel.py

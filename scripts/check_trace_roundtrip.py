@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Record→replay byte-identity gate for the trace subsystem.
+
+For each covered scenario shape — open-loop Poisson, closed-loop, and an
+overload run that sheds — the script records a run with the gzip
+JSON-lines logger, replays the recorded trace through ``repro.run``, and
+fails unless the replayed ``WorkloadMetrics.summary()`` is byte-identical
+to the original.  This is the CI-facing twin of the pytest round-trip
+suite: it goes through the public façade (scenario files, ``--record``
+style recording, ``TraceSpec`` replay), so a regression in any layer of
+the stack — kernel event ordering, driver purity, trace codec, spec
+resolution — trips it.
+"""
+
+import dataclasses
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def scenarios():
+    from repro.api import ScenarioSpec
+    from repro.serving import ArrivalSpec, WorkloadSpec
+    from repro.serving.admission import AdmissionPolicy
+    from repro.sim.machine import MachineConfig
+
+    cluster = MachineConfig(nodes=2, processors_per_node=2)
+    yield "open-loop", ScenarioSpec(
+        cluster=cluster,
+        workload=WorkloadSpec(
+            queries=8,
+            arrival=ArrivalSpec(kind="poisson", rate=40.0),
+            seed=11,
+        ),
+        label="roundtrip-open",
+    )
+    yield "closed-loop", ScenarioSpec(
+        cluster=cluster,
+        workload=WorkloadSpec(
+            queries=8,
+            arrival=ArrivalSpec(kind="closed", population=3),
+            policy=AdmissionPolicy(max_multiprogramming=3),
+            seed=5,
+        ),
+        label="roundtrip-closed",
+    )
+    yield "shed-heavy", ScenarioSpec(
+        cluster=cluster,
+        workload=WorkloadSpec(
+            queries=12,
+            arrival=ArrivalSpec(kind="bursty", rate=200.0, burst_size=6.0),
+            policy=AdmissionPolicy(max_multiprogramming=2,
+                                   queue_timeout=0.05),
+            seed=9,
+        ),
+        label="roundtrip-shed",
+    )
+
+
+def main() -> int:
+    from repro.api import TraceSpec, run
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, scenario in scenarios():
+            path = str(Path(tmp) / f"{name}.jsonl.gz")
+            recorded = run(scenario, record=path)
+            replayed = run(
+                dataclasses.replace(scenario, trace=TraceSpec(path=path))
+            )
+            original = json.dumps(recorded.metrics.summary(), sort_keys=True)
+            replay = json.dumps(replayed.metrics.summary(), sort_keys=True)
+            if original == replay:
+                print(
+                    f"ok {name}: {recorded.metrics.completed} completed, "
+                    f"{recorded.metrics.shed_count} shed, replay "
+                    "byte-identical"
+                )
+            else:
+                failures += 1
+                print(f"FAIL {name}: replay diverged from recording",
+                      file=sys.stderr)
+    if failures:
+        print(f"trace round-trip check FAILED ({failures} scenario(s))",
+              file=sys.stderr)
+        return 1
+    print("trace round-trip check passed: 3 scenarios byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

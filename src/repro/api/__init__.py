@@ -30,7 +30,8 @@ Quickstart::
 
 from .facade import RunResult, build_plans, run, run_query
 from .serde import SpecError
-from .spec import PLAN_KINDS, PlanSpec, ScenarioSpec, get_path, replace_path
+from .spec import (PLAN_KINDS, PlanSpec, ScenarioSpec, TraceSpec, get_path,
+                   replace_path)
 from .sweep import (
     AXIS_MACROS,
     SweepSpec,
@@ -48,6 +49,7 @@ __all__ = [
     "ScenarioSpec",
     "SpecError",
     "SweepSpec",
+    "TraceSpec",
     "apply_axis",
     "build_plans",
     "get_path",

@@ -5,6 +5,8 @@ Usage::
     repro-run examples/scenarios/quickstart.json
     repro-run scenario.json --metrics        # full metrics digest (JSON)
     repro-run scenario.json --emit-spec      # normalized spec, round-tripped
+    repro-run scenario.json --record run.jsonl.gz   # record the event stream
+    repro-run scenario.json --replay run.jsonl.gz   # replay a recorded trace
 
 The scenario file is a serialized :class:`~repro.api.spec.ScenarioSpec`
 (see ``ScenarioSpec.to_json``); unknown keys and invalid values fail
@@ -23,7 +25,7 @@ from typing import Optional
 
 from .facade import run
 from .serde import SpecError
-from .spec import ScenarioSpec
+from .spec import ScenarioSpec, TraceSpec
 
 __all__ = ["main", "load_scenario"]
 
@@ -53,10 +55,26 @@ def main(argv: Optional[list[str]] = None) -> int:
         action="store_true",
         help="print the normalized spec (defaults filled in) and exit",
     )
+    parser.add_argument(
+        "--record",
+        metavar="PATH",
+        help="write the run's structured event stream to PATH as JSON "
+        "lines (gzip if it ends in .gz); replayable with --replay",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="replay the recorded trace at PATH instead of the "
+        "scenario's arrival stream (overrides any 'trace' in the spec)",
+    )
     args = parser.parse_args(argv)
 
     try:
         scenario = load_scenario(args.scenario)
+        if args.replay:
+            scenario = dataclasses.replace(
+                scenario, trace=TraceSpec(path=args.replay)
+            )
     except (SpecError, ValueError) as exc:
         print(f"repro-run: invalid scenario: {exc}", file=sys.stderr)
         return 2
@@ -66,8 +84,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     try:
-        result = run(scenario)
-    except (SpecError, ValueError) as exc:
+        result = run(scenario, record=args.record)
+    except (SpecError, ValueError, OSError) as exc:
         # Cross-field problems (a plan factory incompatible with the
         # cluster shape, an empty population) only surface at build/run
         # time; they deserve the same clean surface as parse errors.

@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 
 from ..engine.metrics import ExecutionResult
 from ..serving.driver import WorkloadDriver, WorkloadRunResult
+from ..serving.trace import JsonLinesLogger
 from ..sim.machine import MachineConfig
 from .spec import PlanSpec, ScenarioSpec
 
@@ -82,28 +83,52 @@ class RunResult:
         )
 
 
-def run(scenario: ScenarioSpec, *, plans: Optional[Sequence] = None) -> RunResult:
+def run(scenario: ScenarioSpec, *, plans: Optional[Sequence] = None,
+        record: Optional[str] = None) -> RunResult:
     """Execute a scenario and return its :class:`RunResult`.
 
     ``plans`` overrides the scenario's declared population with explicit
     compiled plans (tests and ad-hoc studies with hand-built plans);
     everything else still comes from the spec.
+
+    ``record`` (serving mode only) writes the run's structured event
+    stream to that path as JSON lines (gzip iff it ends in ``.gz``); the
+    file replays via ``ScenarioSpec.trace = TraceSpec(path=...)`` with
+    byte-identical metrics.  If ``scenario.trace`` is set, the workload
+    spec's arrival/queries knobs are replaced by the trace's recorded
+    schedule.
     """
     population = tuple(plans) if plans is not None else build_plans(scenario)
     if not population:
         raise ValueError("scenario has an empty plan population")
     if scenario.mode == "single":
+        if record is not None:
+            raise ValueError(
+                "record= captures a serving-mode event stream; single "
+                "mode has no arrivals to record"
+            )
         return RunResult(
             scenario=scenario,
             execution=_execute_single(scenario, population),
         )
-    driver = WorkloadDriver(
-        list(population),
-        scenario.cluster,
-        scenario.workload,
-        scenario.params,
-    )
-    return RunResult(scenario=scenario, workload=driver.run())
+    trace = None
+    if scenario.trace is not None:
+        trace = scenario.trace.resolve(len(population))
+    logger = JsonLinesLogger(record) if record is not None else None
+    try:
+        driver = WorkloadDriver(
+            list(population),
+            scenario.cluster,
+            scenario.workload,
+            scenario.params,
+            logger=logger,
+            trace=trace,
+        )
+        result = driver.run()
+    finally:
+        if logger is not None:
+            logger.close()
+    return RunResult(scenario=scenario, workload=result)
 
 
 def run_query(

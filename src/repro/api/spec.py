@@ -26,16 +26,20 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..engine.params import ExecutionParams
 from ..serving.driver import WorkloadSpec
+from ..serving.trace import Trace
 from ..sim.machine import MachineConfig
+from ..workloads.tracegen import TraceGenSpec
 from .serde import SpecError, decode, encode, from_json, to_json
 
 __all__ = [
     "PLAN_KINDS",
     "PlanSpec",
     "ScenarioSpec",
+    "TraceSpec",
     "get_path",
     "replace_path",
 ]
@@ -156,6 +160,55 @@ class PlanSpec:
 
 
 @dataclass(frozen=True)
+class TraceSpec:
+    """Where a serving scenario's query stream comes from, as data.
+
+    Exactly one source:
+
+    * ``path`` — a recorded JSON-lines trace file (``.gz`` by suffix),
+      as written by ``repro-run --record`` or
+      :class:`~repro.serving.trace.JsonLinesLogger`;
+    * ``generate`` — a synthetic-traffic model
+      (:class:`~repro.workloads.tracegen.TraceGenSpec`) rendered to a
+      trace at run time, so a scenario file stays self-contained.
+
+    When set on a :class:`ScenarioSpec`, the trace *replaces* the
+    workload spec's ``queries``/``arrival`` knobs (each replayed query
+    carries its own arrival instant, plan index, strategy, class and
+    engine seed); admission ``policy`` and engine ``params`` still come
+    from the scenario.  ``limit`` truncates the trace to its first N
+    queries (smoke runs over big recordings).
+    """
+
+    path: str = ""
+    generate: Optional[TraceGenSpec] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if bool(self.path) == (self.generate is not None):
+            raise ValueError(
+                "a TraceSpec needs exactly one source: a trace file "
+                "'path' or a synthetic 'generate' model"
+            )
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+
+    def resolve(self, plan_count: int) -> Trace:
+        """The concrete trace: loaded from disk or generated (pure)."""
+        if self.generate is not None:
+            from ..workloads.tracegen import generate_trace
+
+            trace = generate_trace(self.generate, plan_count)
+        else:
+            trace = Trace.load(self.path)
+        if self.limit is not None and self.limit < len(trace.queries):
+            trace = dataclasses.replace(
+                trace, queries=trace.queries[: self.limit]
+            )
+        return trace
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, serializable run description.
 
@@ -172,11 +225,18 @@ class ScenarioSpec:
     plans: PlanSpec = field(default_factory=PlanSpec)
     mode: str = "serving"
     label: str = ""
+    #: replay a trace instead of generating arrivals (serving mode only).
+    trace: Optional[TraceSpec] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("serving", "single"):
             raise ValueError(
                 f"unknown mode {self.mode!r}; expected 'serving' or 'single'",
+            )
+        if self.trace is not None and self.mode != "serving":
+            raise ValueError(
+                "trace replay needs mode='serving'; single mode runs one "
+                "query with no arrival stream"
             )
 
     # -- lossless (de)serialization -----------------------------------------

@@ -367,6 +367,11 @@ class WorkloadMetrics:
         return len(self.shed)
 
     # -- per-service-class views -----------------------------------------------
+    #
+    # All per-class views key by the class *name* string carried on each
+    # completion/shed record.  Two distinct ServiceClass objects sharing a
+    # name would be merged indistinguishably here, which is why
+    # WorkloadSpec rejects duplicate class names at construction.
 
     def class_names(self) -> list[str]:
         """Service classes seen in this run (completed or shed), sorted."""

@@ -179,6 +179,13 @@ class NodeScheduler:
             self._start_round(scope)
             if cross:
                 context.metrics.cross_steal_rounds += 1
+            substrate = context.substrate
+            if substrate is not None and substrate.logger.enabled:
+                from ..serving.trace import StealRound
+                substrate.logger.log(StealRound(
+                    time=now, query_id=context.query_id,
+                    node_id=self.node.node_id, scope=scope, cross=cross,
+                ))
 
     def _start_round(self, scope: Optional[int]) -> None:
         context = self.context
@@ -409,6 +416,17 @@ class NodeScheduler:
             queue_set.push(i % k, local, force=True)
         context.metrics.steals_succeeded += 1
         context.metrics.activations_stolen += len(activations)
+        substrate = context.substrate
+        if substrate is not None and substrate.logger.enabled:
+            from ..serving.trace import StealTransfer
+            shipped = 0
+            if hash_info is not None:
+                shipped = hash_info[1]
+            substrate.logger.log(StealTransfer(
+                time=context.env.now, query_id=context.query_id,
+                src_node=group[0], dst_node=self.node.node_id,
+                activations=len(activations), hash_bytes=shipped,
+            ))
         self.node.wake_all()
 
 

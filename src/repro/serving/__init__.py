@@ -68,6 +68,8 @@ from .classes import BATCH, DEFAULT_CLASS, INTERACTIVE, ServiceClass
 from .coordinator import CrossQueryBroker, MultiQueryCoordinator, QueryRequest
 from .driver import WorkloadDriver, WorkloadRunResult, WorkloadSpec
 from .substrate import SharedSubstrate
+from .trace import (NOOP_LOGGER, JsonLinesLogger, MemoryLogger, NoopLogger,
+                    RunLogger, Trace, TraceQuery, read_events)
 
 __all__ = [
     "AdmissionController",
@@ -88,4 +90,12 @@ __all__ = [
     "WorkloadRunResult",
     "WorkloadSpec",
     "SharedSubstrate",
+    "JsonLinesLogger",
+    "MemoryLogger",
+    "NOOP_LOGGER",
+    "NoopLogger",
+    "RunLogger",
+    "Trace",
+    "TraceQuery",
+    "read_events",
 ]

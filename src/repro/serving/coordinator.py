@@ -65,6 +65,9 @@ from ..sim.machine import MachineConfig
 from .admission import AdmissionController, AdmissionPolicy
 from .classes import DEFAULT_CLASS, ServiceClass
 from .substrate import SharedSubstrate
+from .trace import (NOOP_LOGGER, BrokerImbalance, QueryAdmitted,
+                    QueryFinished, QueryShedEvent, QueryStarted,
+                    QuerySubmitted, RunLogger)
 
 __all__ = ["QueryRequest", "MultiQueryCoordinator", "CrossQueryBroker"]
 
@@ -124,6 +127,12 @@ class CrossQueryBroker:
         if peak <= local * params.cross_steal_imbalance:
             return
         self.notifications += 1
+        logger = substrate.logger
+        if logger.enabled:
+            logger.log(BrokerImbalance(
+                time=substrate.env.now, node_id=node_id,
+                local_load=local, peak_load=peak,
+            ))
         for other in others:
             scheduler = other.nodes[node_id].scheduler
             if scheduler is not None:
@@ -169,10 +178,15 @@ class MultiQueryCoordinator:
 
     def __init__(self, config: MachineConfig,
                  params: Optional[ExecutionParams] = None,
-                 policy: AdmissionPolicy = AdmissionPolicy()):
+                 policy: AdmissionPolicy = AdmissionPolicy(),
+                 logger: Optional[RunLogger] = None):
         self.config = config
         self.params = params or ExecutionParams()
         self.substrate = SharedSubstrate(config, self.params)
+        #: structured run-event sink; installed on the substrate so the
+        #: engine's steal protocol logs through the same stream.
+        self.logger = logger or NOOP_LOGGER
+        self.substrate.logger = self.logger
         self.admission = AdmissionController(self.substrate, policy)
         self.env = self.substrate.env
         self.pending: deque[QueryRequest] = deque()
@@ -205,7 +219,8 @@ class MultiQueryCoordinator:
                strategy: Optional[str] = None,
                params: Optional[ExecutionParams] = None,
                query_id: Optional[int] = None,
-               service_class: Optional[ServiceClass] = None) -> QueryRequest:
+               service_class: Optional[ServiceClass] = None,
+               plan_index: Optional[int] = None) -> QueryRequest:
         """Register an arriving query; it executes when admission allows."""
         if not self._arrivals_open:
             raise RuntimeError("arrivals are closed; cannot submit")
@@ -247,6 +262,14 @@ class MultiQueryCoordinator:
         )
         self._next_seq += 1
         self.pending.append(request)
+        if self.logger.enabled:
+            self.logger.log(QuerySubmitted(
+                time=self.env.now, query_id=request.query_id,
+                plan_index=plan_index, plan_label=plan.label,
+                strategy=request.strategy,
+                service_class=request.service_class,
+                params_seed=request.params.seed,
+            ))
         self._poke()
         return request
 
@@ -279,6 +302,11 @@ class MultiQueryCoordinator:
                     break
                 self.pending.remove(request)
                 self.admission.on_admitted(request.service_class)
+                if self.logger.enabled:
+                    self.logger.log(QueryAdmitted(
+                        time=self.env.now, query_id=request.query_id,
+                        queued_for=self.env.now - request.arrival_time,
+                    ))
                 self._start(request)
             if (not self._arrivals_open and not self.pending
                     and not self.running):
@@ -347,6 +375,11 @@ class MultiQueryCoordinator:
             reason=reason,
         )
         self.metrics.record_shed(record)
+        if self.logger.enabled:
+            self.logger.log(QueryShedEvent(
+                time=self.env.now, query_id=request.query_id,
+                service_class=request.service_class.name, reason=reason,
+            ))
         if not request.done.triggered:
             # An explicit completion kind, not ``done(None)``: drivers
             # (and future retry/backoff clients) can tell a shed query
@@ -384,6 +417,11 @@ class MultiQueryCoordinator:
 
     def _start(self, request: QueryRequest) -> None:
         request.start_time = self.env.now
+        if self.logger.enabled:
+            self.logger.log(QueryStarted(
+                time=self.env.now, query_id=request.query_id,
+                strategy=request.strategy,
+            ))
         self.running[request.query_id] = request
         self.peak_running = max(self.peak_running, len(self.running))
         name = request.service_class.name
@@ -454,6 +492,14 @@ class MultiQueryCoordinator:
         )
         request.completion = completion
         self.metrics.record(completion)
+        if self.logger.enabled:
+            self.logger.log(QueryFinished(
+                time=self.env.now, query_id=request.query_id,
+                plan_label=completion.plan_label,
+                service_class=completion.service_class,
+                latency=completion.latency,
+                queueing_delay=request.start_time - request.arrival_time,
+            ))
         del self.running[request.query_id]
         name = request.service_class.name
         self.running_by_class[name] = self.running_by_class.get(name, 1) - 1

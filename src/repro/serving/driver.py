@@ -19,18 +19,21 @@ sequence)`` heap.  Two identical runs produce byte-identical
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
 from ..engine.metrics import WorkloadMetrics
 from ..engine.params import ExecutionParams
 from ..optimizer.plan import ParallelExecutionPlan
+from ..sim.core import LOW
 from ..sim.machine import MachineConfig
 from ..sim.rng import RandomStreams, derive_seed
 from .admission import AdmissionPolicy
 from .arrivals import ArrivalSpec, sample_arrival_times
 from .classes import ServiceClass
 from .coordinator import MultiQueryCoordinator
+from .trace import NOOP_LOGGER, RunLogger, RunStarted, Trace
 
 __all__ = ["WorkloadSpec", "WorkloadRunResult", "WorkloadDriver"]
 
@@ -67,6 +70,14 @@ class WorkloadSpec:
             for _cls, fraction in self.classes
         ):
             raise ValueError("class proportions must be positive and finite")
+        names = [cls.name for cls, _fraction in self.classes]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(
+                f"duplicate service-class name(s) {dupes}: metrics are "
+                "keyed by class name, so two distinct classes sharing one "
+                "would be silently merged"
+            )
 
 
 @dataclass
@@ -98,7 +109,9 @@ class WorkloadDriver:
                               Sequence[ParallelExecutionPlan]],
                  config: MachineConfig,
                  spec: Optional[WorkloadSpec] = None,
-                 params: Optional[ExecutionParams] = None):
+                 params: Optional[ExecutionParams] = None,
+                 logger: Optional[RunLogger] = None,
+                 trace: Optional[Trace] = None):
         if isinstance(plans, ParallelExecutionPlan):
             plans = [plans]
         if not plans:
@@ -107,16 +120,38 @@ class WorkloadDriver:
         self.config = config
         self.spec = spec or WorkloadSpec()
         self.params = params or ExecutionParams()
+        #: structured run-event sink (recording); NOOP by default.
+        self.logger = logger or NOOP_LOGGER
+        #: when set, replay this trace instead of generating arrivals.
+        self.trace = trace
+        if trace is not None:
+            for q in trace.queries:
+                if not 0 <= q.plan_index < len(self.plans):
+                    raise ValueError(
+                        f"trace query {q.query_id} references plan index "
+                        f"{q.plan_index}, but the population has "
+                        f"{len(self.plans)} plan(s)"
+                    )
         self.streams = RandomStreams(derive_seed(self.spec.seed, "workload"))
 
     # -- per-query derivations ----------------------------------------------
 
-    def _plan_for(self, index: int) -> ParallelExecutionPlan:
-        """Deterministic plan choice for the ``index``-th submission."""
+    def _plan_index_for(self, index: int) -> int:
+        """Deterministic plan choice for the ``index``-th submission.
+
+        A pure function of ``(spec.seed, index)``: each query gets its own
+        seeded draw rather than the next value of a shared stream, so the
+        choice cannot depend on *when* the query is generated (closed-loop
+        clients interleave submissions with completions) — the property
+        trace replay relies on.
+        """
         if len(self.plans) == 1:
-            return self.plans[0]
-        rng = self.streams.stream("plan-choice")
-        return self.plans[rng.randrange(len(self.plans))]
+            return 0
+        rng = random.Random(derive_seed(self.spec.seed, f"plan:{index}"))
+        return rng.randrange(len(self.plans))
+
+    def _plan_for(self, index: int) -> ParallelExecutionPlan:
+        return self.plans[self._plan_index_for(index)]
 
     def _params_for(self, index: int) -> ExecutionParams:
         """Per-query engine params: an independent seed per query, so two
@@ -127,12 +162,16 @@ class WorkloadDriver:
         )
 
     def _class_for(self, index: int) -> Optional[ServiceClass]:
-        """Deterministic service-class draw for the ``index``-th query."""
+        """Deterministic service-class draw for the ``index``-th query.
+
+        Pure in ``(spec.seed, index)`` for the same reason as
+        :meth:`_plan_index_for`.
+        """
         classes = self.spec.classes
         if not classes:
             return None
         total = sum(fraction for _cls, fraction in classes)
-        rng = self.streams.stream("class-choice")
+        rng = random.Random(derive_seed(self.spec.seed, f"class:{index}"))
         point = rng.random() * total
         acc = 0.0
         for service_class, fraction in classes:
@@ -150,13 +189,18 @@ class WorkloadDriver:
         )
         env = coordinator.env
         for index, when in enumerate(times):
-            delay = when - env.now
-            if delay > 0:
-                yield env.timeout(delay)
+            # Absolute-instant scheduling: the heap stores the sampled
+            # float itself, so the recorded arrival_time equals the
+            # sampled schedule bit-for-bit (a chain of relative timeouts
+            # would accumulate ``when - now`` round-off).
+            if when > env.now:
+                yield env.timeout_at(when)
+            plan_index = self._plan_index_for(index)
             coordinator.submit(
-                self._plan_for(index), strategy=self.spec.strategy,
+                self.plans[plan_index], strategy=self.spec.strategy,
                 params=self._params_for(index), query_id=index,
                 service_class=self._class_for(index),
+                plan_index=plan_index,
             )
         coordinator.close_arrivals()
 
@@ -168,10 +212,12 @@ class WorkloadDriver:
         while counter[0] < self.spec.queries:
             index = counter[0]
             counter[0] += 1
+            plan_index = self._plan_index_for(index)
             request = coordinator.submit(
-                self._plan_for(index), strategy=self.spec.strategy,
+                self.plans[plan_index], strategy=self.spec.strategy,
                 params=self._params_for(index), query_id=index,
                 service_class=self._class_for(index),
+                plan_index=plan_index,
             )
             yield request.done
             think = self.spec.arrival.think_time
@@ -181,7 +227,43 @@ class WorkloadDriver:
         if counter[1] == 0:
             coordinator.close_arrivals()
 
+    def _trace_arrivals(self, coordinator: MultiQueryCoordinator):
+        """Replay a recorded trace: exact instants, recorded shapes.
+
+        Arrivals fire at the *absolute* recorded timestamps via
+        ``timeout_at``, so the replayed schedule is bit-identical to the
+        original.  A closed-loop trace needs one more care: its original
+        submissions happened inside completion cascades, *after* the
+        events of the same instant that triggered them — so its replayed
+        arrivals use LOW priority, ordering them after every
+        normal-priority event of their instant.  Open-loop traces replay
+        at normal priority, exactly like the generating process.
+        """
+        trace = self.trace
+        env = coordinator.env
+        low = trace.closed_loop
+        for q in trace.queries:
+            if q.arrival_time > env.now:
+                if low:
+                    yield env.timeout_at(q.arrival_time, priority=LOW)
+                else:
+                    yield env.timeout_at(q.arrival_time)
+            coordinator.submit(
+                self.plans[q.plan_index], strategy=q.strategy,
+                params=replace(self.params, seed=q.params_seed),
+                query_id=q.query_id, service_class=q.service_class,
+                plan_index=q.plan_index,
+            )
+        coordinator.close_arrivals()
+
     # -- the run ----------------------------------------------------------------
+
+    @property
+    def expected_queries(self) -> int:
+        """Queries this run will submit (trace length in replay mode)."""
+        if self.trace is not None:
+            return len(self.trace.queries)
+        return self.spec.queries
 
     def build_coordinator(self) -> MultiQueryCoordinator:
         """The coordinator with all arrival processes installed (not run).
@@ -190,10 +272,25 @@ class WorkloadDriver:
         the environment themselves.
         """
         coordinator = MultiQueryCoordinator(
-            self.config, params=self.params, policy=self.spec.policy
+            self.config, params=self.params, policy=self.spec.policy,
+            logger=self.logger,
         )
         env = coordinator.env
-        if self.spec.arrival.open_loop:
+        if self.logger.enabled:
+            # Header first: replay needs the original arrival kind to
+            # reproduce same-instant event ordering (see _trace_arrivals).
+            if self.trace is not None:
+                arrival_kind = self.trace.arrival_kind
+            else:
+                arrival_kind = self.spec.arrival.kind
+            self.logger.log(RunStarted(
+                time=env.now, queries=self.expected_queries,
+                arrival_kind=arrival_kind, strategy=self.spec.strategy,
+                seed=self.spec.seed,
+            ))
+        if self.trace is not None:
+            env.process(self._trace_arrivals(coordinator), name="replay")
+        elif self.spec.arrival.open_loop:
             env.process(self._open_loop_arrivals(coordinator), name="arrivals")
         else:
             population = min(self.spec.arrival.population, self.spec.queries)
@@ -213,10 +310,11 @@ class WorkloadDriver:
         """
         coordinator = self.build_coordinator()
         metrics = coordinator.run()
-        if metrics.completed + metrics.shed_count != self.spec.queries:
+        expected = self.expected_queries
+        if metrics.completed + metrics.shed_count != expected:
             raise RuntimeError(
                 f"workload incomplete: {metrics.completed} of "
-                f"{self.spec.queries} queries finished "
+                f"{expected} queries finished "
                 f"({metrics.shed_count} shed)"
             )
         return WorkloadRunResult(

@@ -90,6 +90,12 @@ class SharedSubstrate:
         #: (a probe's end freeing its join's hash tables) re-evaluate
         #: admission immediately instead of waiting for a completion.
         self.on_memory_release = None
+        #: structured run-event sink (see :mod:`repro.serving.trace`);
+        #: the coordinator installs a real one when recording.  Lives on
+        #: the substrate so the engine scheduler (which only sees
+        #: ``context.substrate``) can log steal rounds and transfers.
+        from .trace import NOOP_LOGGER
+        self.logger = NOOP_LOGGER
         #: cross-query machine-share broker (installed here so even bare
         #: substrates run it; gated by ``params.cross_query_steal``).
         from .coordinator import CrossQueryBroker  # late import (cycle)

@@ -336,6 +336,29 @@ class Environment:
         """Create an event firing ``delay`` virtual seconds from now."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None,
+                   priority: int = NORMAL) -> Event:
+        """Create an event firing at the *absolute* virtual instant ``when``.
+
+        Unlike ``timeout(when - now)``, the heap stores the exact float
+        ``when``, so a precomputed schedule (e.g. sampled arrival times,
+        or a replayed trace) fires at bit-identical instants regardless of
+        how much virtual time has already elapsed — no relative-delay
+        round-off accumulates.  ``priority`` orders the event against
+        others of the same instant (a trace replay uses :data:`LOW` so
+        arrivals fire after the completion cascades that originally
+        preceded them).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"timeout_at({when}) is in the past (now={self._now})"
+            )
+        event = Event(self, name="timeout_at")
+        event._triggered = True
+        event._value = value
+        self._schedule_at(when, event, priority)
+        return event
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start running ``generator`` as a simulation process."""
         return Process(self, generator, name)

@@ -1,4 +1,5 @@
-"""Canned workloads: the 40-plan population and the paper's examples."""
+"""Canned workloads: the 40-plan population, the paper's examples, and
+synthetic trace generation (:mod:`repro.workloads.tracegen`)."""
 
 from .plans import Workload, WorkloadConfig, build_workload
 from .scenarios import (
@@ -6,12 +7,16 @@ from .scenarios import (
     pipeline_chain_scenario,
     two_node_join_scenario,
 )
+from .tracegen import TraceGenSpec, generate_trace, session_rate_at
 
 __all__ = [
+    "TraceGenSpec",
     "Workload",
     "WorkloadConfig",
     "build_workload",
+    "generate_trace",
     "io_heavy_chain_population",
     "pipeline_chain_scenario",
+    "session_rate_at",
     "two_node_join_scenario",
 ]

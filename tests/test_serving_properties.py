@@ -423,7 +423,7 @@ class TestInterQueryBehaviour:
             plans.append(compile_plan(graph, tree, config, label=f"g{index}"))
         spec = WorkloadSpec(
             queries=6, arrival=ArrivalSpec(kind="closed", population=3),
-            policy=AdmissionPolicy(max_multiprogramming=3), seed=6,
+            policy=AdmissionPolicy(max_multiprogramming=3), seed=5,
         )
         metrics = WorkloadDriver(plans, config, spec).run().metrics
         assert metrics.completed == 6
