@@ -10,21 +10,28 @@
 #                         lint job
 #   make determinism      run the figure/scenario experiments twice and diff
 #                         byte-for-byte against baselines/determinism.txt
+#   make determinism-hybrid  same report under the analytic fast-forward
+#                         kernel; must match the same committed baseline
 #   make trace-roundtrip  record three scenario shapes, replay each trace,
 #                         fail unless metrics are byte-identical
 #   make bench-smoke      one pass of the workload + kernel benchmarks
 #   make bench-kernel     kernel events/sec only (writes BENCH_kernel.json)
 #   make bench-macro      macro-charge batching + parallel sweep bench
 #                         (writes BENCH_macro_charge.json)
-#   make bench-regression regenerate the kernel bench and fail on a >25%
-#                         events/s drop vs the committed BENCH_kernel.json
+#   make bench-trace-replay  100k-query trace replay, both kernels (writes
+#                         BENCH_trace_replay.json; TRACE_REPLAY_QUERIES
+#                         overrides the trace length — nightly runs 1M)
+#   make bench-regression regenerate the kernel/macro/replay benches and
+#                         fail on a >25% events/s drop vs the committed
+#                         BENCH_*.json baselines
 #   make experiments      regenerate EXPERIMENTS.md (quick settings)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: check check-slow check-full lint determinism trace-roundtrip \
-	bench-smoke bench-kernel bench-macro bench-regression experiments
+.PHONY: check check-slow check-full lint determinism determinism-hybrid \
+	trace-roundtrip bench-smoke bench-kernel bench-macro \
+	bench-trace-replay bench-regression experiments
 
 check:
 	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q
@@ -41,6 +48,9 @@ lint:
 determinism:
 	$(PYTHON) scripts/check_determinism.py
 
+determinism-hybrid:
+	$(PYTHON) scripts/check_determinism.py --kernel hybrid
+
 trace-roundtrip:
 	$(PYTHON) scripts/check_trace_roundtrip.py
 
@@ -53,15 +63,25 @@ bench-kernel:
 bench-macro:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q bench_macro_charge.py
 
-# The baseline is the *committed* BENCH_kernel.json (git show), not the
-# working-tree file: bench-smoke regenerates the working-tree copy, so
-# copying it would compare two back-to-back runs and catch nothing.
+bench-trace-replay:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q -s bench_trace_replay.py
+
+# The baselines are the *committed* BENCH_*.json files (git show), not
+# the working-tree copies: the bench targets regenerate the working-tree
+# files, so copying those would compare two back-to-back runs and catch
+# nothing.  A bench JSON not yet at HEAD yields an empty baseline, which
+# the gate skips with a note.
 bench-regression:
 	git show HEAD:benchmarks/BENCH_kernel.json > /tmp/BENCH_kernel.baseline.json
+	git show HEAD:benchmarks/BENCH_macro_charge.json > /tmp/BENCH_macro_charge.baseline.json
+	git show HEAD:benchmarks/BENCH_trace_replay.json > /tmp/BENCH_trace_replay.baseline.json 2>/dev/null || true
 	$(MAKE) bench-kernel
+	$(MAKE) bench-macro
+	$(MAKE) bench-trace-replay
 	$(PYTHON) scripts/check_bench_regression.py \
-		--baseline /tmp/BENCH_kernel.baseline.json \
-		--fresh benchmarks/BENCH_kernel.json
+		--pair /tmp/BENCH_kernel.baseline.json benchmarks/BENCH_kernel.json \
+		--pair /tmp/BENCH_macro_charge.baseline.json benchmarks/BENCH_macro_charge.json \
+		--pair /tmp/BENCH_trace_replay.baseline.json benchmarks/BENCH_trace_replay.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --quick

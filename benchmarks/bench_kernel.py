@@ -24,7 +24,16 @@ before/after of each optimization pass (same dev container):
   fair grant riding ``Environment.defer`` instead of a scheduled event)
   — lifted the fair storm from ~168k to ~359k events/s (+113%) and the
   priority storm from ~141k to ~312k events/s (+121%), with FIFO
-  untouched (byte-identity) and the timer storm unchanged.
+  untouched (byte-identity) and the timer storm unchanged;
+* the hybrid-kernel PR's analytic fast-forward FIFO
+  (``Resource(fast_forward=True)``: O(1) horizon bookkeeping, one
+  born-triggered event per charge, no waiter queue) — lifted the FIFO
+  storm from ~266k to ~554k events/s (+109%); ``resource_fifo`` now
+  measures the fast-forward path the hybrid kernel uses, with the
+  discrete queued path kept honest as ``resource_fifo_discrete``.  The
+  ``timer_calendar`` entry tracks the pure-Python calendar-queue
+  backend; it is *expected* to trail the C-accelerated heap (see
+  ``sim/eventq.py``'s honesty note).
 """
 
 import json
@@ -35,11 +44,12 @@ from repro.sim.core import ChargeTag, Environment, Resource, make_discipline
 
 #: pre/post numbers of the sim/core.py optimization passes, recorded when
 #: each landed (events/second, best of 3, dev container): the PR-2
-#: ``__slots__`` pass (timer/fifo) and the macro-charge PR's
-#: callback-driven fair/priority rewrite.
+#: ``__slots__`` pass (timer), the macro-charge PR's callback-driven
+#: fair/priority rewrite, and the hybrid-kernel PR's analytic
+#: fast-forward FIFO (``resource_fifo``).
 REFERENCE = {
     "timer": {"before": 391_182, "after": 608_267},
-    "resource_fifo": {"before": 200_819, "after": 280_162},
+    "resource_fifo": {"before": 265_543, "after": 553_669},
     "resource_fair": {"before": 168_265, "after": 358_611},
     "resource_priority": {"before": 141_023, "after": 311_691},
 }
@@ -47,9 +57,10 @@ REFERENCE = {
 OUTPUT = Path(__file__).with_name("BENCH_kernel.json")
 
 
-def timer_storm(n_procs: int = 200, hops: int = 400) -> tuple[int, float]:
+def timer_storm(n_procs: int = 200, hops: int = 400, *,
+                queue: str = "heap") -> tuple[int, float]:
     """``n_procs`` processes each hopping over ``hops`` timeouts."""
-    env = Environment()
+    env = Environment(queue=queue)
 
     def hopper(i):
         for _ in range(hops):
@@ -63,11 +74,15 @@ def timer_storm(n_procs: int = 200, hops: int = 400) -> tuple[int, float]:
 
 
 def resource_storm(discipline: str, n_procs: int = 100,
-                   charges: int = 200) -> tuple[int, float]:
+                   charges: int = 200, *,
+                   fast_forward: bool = False) -> tuple[int, float]:
     """Contended charges through one resource under ``discipline``."""
     env = Environment()
-    resource = Resource(env, capacity=4, name="cpu",
-                        discipline=make_discipline(discipline))
+    if fast_forward:
+        resource = Resource(env, capacity=4, name="cpu", fast_forward=True)
+    else:
+        resource = Resource(env, capacity=4, name="cpu",
+                            discipline=make_discipline(discipline))
 
     def worker(i):
         tag = ChargeTag(key=f"c{i % 5}", weight=float(i % 3 + 1),
@@ -92,8 +107,18 @@ def best_rate(fn, *args, repeats: int = 3) -> float:
 
 def test_kernel_events_per_second(benchmark):
     def measure():
-        rates = {"timer": best_rate(timer_storm)}
-        for discipline in ("fifo", "fair", "priority"):
+        rates = {
+            "timer": best_rate(timer_storm),
+            "timer_calendar": best_rate(lambda: timer_storm(queue="calendar")),
+            # The headline FIFO number is the hybrid kernel's analytic
+            # fast-forward path (what ExecutionParams.kernel="hybrid"
+            # runs); the discrete queued path stays tracked alongside.
+            "resource_fifo": best_rate(
+                lambda: resource_storm("fifo", fast_forward=True)
+            ),
+            "resource_fifo_discrete": best_rate(resource_storm, "fifo"),
+        }
+        for discipline in ("fair", "priority"):
             rates[f"resource_{discipline}"] = best_rate(
                 resource_storm, discipline
             )
@@ -112,5 +137,10 @@ def test_kernel_events_per_second(benchmark):
     # Generous floors: catch order-of-magnitude regressions, not machine
     # noise (CI machines vary; the JSON carries the precise numbers).
     assert rates["timer"] > 50_000
+    assert rates["timer_calendar"] > 20_000
+    assert rates["resource_fifo_discrete"] > 20_000
     for discipline in ("fifo", "fair", "priority"):
         assert rates[f"resource_{discipline}"] > 20_000
+    # The analytic fast-forward path must never lose to the discrete
+    # queued path it replaces — that's the hybrid kernel's entire point.
+    assert rates["resource_fifo"] > rates["resource_fifo_discrete"]

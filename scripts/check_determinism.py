@@ -12,7 +12,11 @@ Modes:
   two outputs are byte-identical and match the committed baseline;
 * ``--emit`` — print the canonical report to stdout (used internally);
 * ``--update`` — rewrite the committed baseline (run after a PR that
-  intentionally changes simulated timings, and say so in the PR).
+  intentionally changes simulated timings, and say so in the PR);
+* ``--kernel hybrid`` — run the same report with the analytic
+  fast-forward kernel (``ExecutionParams.kernel="hybrid"``) and compare
+  it against the *same* committed baseline: the hybrid kernel must be
+  byte-identical to the discrete one on every gated figure and scenario.
 """
 
 import argparse
@@ -26,7 +30,7 @@ REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "baselines" / "determinism.txt"
 
 
-def emit() -> str:
+def emit(kernel: str = "event") -> str:
     """The canonical determinism report (no wall times, no environment)."""
     from repro.catalog.skew import SkewSpec
     from repro.engine import QueryExecutor
@@ -38,6 +42,9 @@ def emit() -> str:
     )
 
     options = ExperimentOptions.quick()
+    if kernel != "event":
+        import dataclasses
+        options = dataclasses.replace(options, kernel=kernel)
     sections = []
     for name, module in (
         ("figure6", figure6),
@@ -57,6 +64,7 @@ def emit() -> str:
             params = scaled_execution_params(
                 skew=SkewSpec.uniform_redistribution(0.8),
                 seed=7,
+                kernel=kernel,
             )
             result = QueryExecutor(plan, config, strategy=strategy, params=params).run()
             metrics = result.metrics
@@ -70,13 +78,14 @@ def emit() -> str:
     return "\n".join(sections)
 
 
-def run_emit() -> str:
+def run_emit(kernel: str = "event") -> str:
     """One report from a fresh interpreter (no shared caches)."""
     env = dict(os.environ)
     src = str(REPO / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
-        [sys.executable, str(Path(__file__).resolve()), "--emit"],
+        [sys.executable, str(Path(__file__).resolve()), "--emit",
+         "--kernel", kernel],
         capture_output=True,
         text=True,
         env=env,
@@ -99,22 +108,32 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--emit", action="store_true")
     parser.add_argument("--update", action="store_true")
+    parser.add_argument("--kernel", choices=("event", "hybrid"),
+                        default="event",
+                        help="simulation kernel to run the report with; the "
+                        "baseline is shared — hybrid must match it byte for "
+                        "byte")
     args = parser.parse_args()
 
     if args.emit:
         sys.path.insert(0, str(REPO / "src"))
-        sys.stdout.write(emit())
+        sys.stdout.write(emit(args.kernel))
         return 0
 
     if args.update:
+        if args.kernel != "event":
+            print("refusing --update with a non-default kernel: the "
+                  "committed baseline is the discrete path's output",
+                  file=sys.stderr)
+            return 1
         sys.path.insert(0, str(REPO / "src"))
         BASELINE.parent.mkdir(parents=True, exist_ok=True)
         BASELINE.write_text(emit())
         print(f"baseline written to {BASELINE}")
         return 0
 
-    first = run_emit()
-    second = run_emit()
+    first = run_emit(args.kernel)
+    second = run_emit(args.kernel)
     if first != second:
         print("FAIL: two identical runs produced different outputs", file=sys.stderr)
         show_diff(first, second, "run-1", "run-2")
@@ -125,13 +144,16 @@ def main() -> int:
     committed = BASELINE.read_text()
     if first != committed:
         print(
-            "FAIL: output drifted from the committed baseline "
-            "(rerun with --update only if the change is intentional)",
+            f"FAIL: output (kernel={args.kernel}) drifted from the committed "
+            "baseline (rerun with --update only if the change is intentional)",
             file=sys.stderr,
         )
         show_diff(committed, first, "baseline", "fresh")
         return 1
-    print("determinism check passed: 2 runs byte-identical, baseline matched")
+    print(
+        f"determinism check passed (kernel={args.kernel}): 2 runs "
+        "byte-identical, baseline matched"
+    )
     return 0
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "QueryCompletion",
     "QueryShed",
     "ShedRecord",
+    "StreamingWorkloadMetrics",
     "WorkloadMetrics",
     "percentile",
 ]
@@ -516,4 +517,217 @@ class WorkloadMetrics:
                  c.result.metrics.activations_processed)
                 for c in sorted(self.completions, key=lambda c: c.query_id)
             ],
+        }
+
+
+class StreamingWorkloadMetrics(WorkloadMetrics):
+    """A :class:`WorkloadMetrics` that does not retain per-query results.
+
+    ``WorkloadMetrics`` keeps every :class:`QueryCompletion` — including
+    its full :class:`ExecutionResult` with ~40 counters and per-thread
+    breakdowns — which is what makes million-query replays run out of
+    memory long before they run out of time.  This subclass aggregates
+    each completion into scalar accumulators at :meth:`record` time and
+    drops the object, keeping only the per-query latency floats (needed
+    for exact percentiles: ~8 MB per million queries).
+
+    Every aggregate it reports is bit-identical to the retaining
+    parent's: the accumulators add in the same record order that
+    ``sum()`` over the completion list would, latencies feed the same
+    :func:`percentile`, and :meth:`summary` emits the same digest minus
+    the unbounded ``per_query`` list (pinned by
+    ``tests/test_sim_hybrid.py``).  Accessors that need the retained
+    objects themselves (``completions_of``, ``steal_bytes_per_query``)
+    raise, loudly, instead of answering from an empty list.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._completed = 0
+        self._latencies: list[float] = []
+        self._queueing_sum = 0.0
+        self._queueing_max = 0.0
+        self._execution_sum = 0.0
+        self._steal_bytes = 0
+        self._cpu_contention = 0.0
+        self._disk_wait = 0.0
+        self._net_wait = 0.0
+        self._cross_steal_rounds = 0
+        #: class name -> [count, latencies, queueing_sum, slo_met,
+        #:               cpu_wait, disk_wait, net_wait]
+        self._per_class: dict[str, list] = {}
+
+    def record(self, completion: QueryCompletion) -> None:
+        if self._completed == 0:
+            self.first_arrival_time = completion.arrival_time
+        else:
+            self.first_arrival_time = min(self.first_arrival_time,
+                                          completion.arrival_time)
+        self.last_completion_time = max(self.last_completion_time,
+                                        completion.completion_time)
+        self._completed += 1
+        self._latencies.append(completion.latency)
+        self._queueing_sum += completion.queueing_delay
+        self._queueing_max = max(self._queueing_max,
+                                 completion.queueing_delay)
+        self._execution_sum += completion.execution_time
+        self._steal_bytes += completion.steal_bytes
+        metrics = completion.result.metrics
+        self._cpu_contention += metrics.cpu_contention_time
+        self._disk_wait += metrics.disk_wait_time
+        self._net_wait += metrics.net_wait_time
+        self._cross_steal_rounds += metrics.cross_steal_rounds
+        entry = self._per_class.get(completion.service_class)
+        if entry is None:
+            entry = [0, [], 0.0, 0, 0.0, 0.0, 0.0]
+            self._per_class[completion.service_class] = entry
+        entry[0] += 1
+        entry[1].append(completion.latency)
+        entry[2] += completion.queueing_delay
+        entry[3] += 1 if completion.slo_met is not False else 0
+        entry[4] += metrics.cpu_contention_time
+        entry[5] += metrics.disk_wait_time
+        entry[6] += metrics.net_wait_time
+
+    # -- aggregate accessors, re-answered from the accumulators -------------
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    def throughput(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self._completed / self.makespan
+
+    def latencies(self) -> list[float]:
+        return list(self._latencies)
+
+    def latency_percentile(self, p: float) -> float:
+        return percentile(self._latencies, p)
+
+    def mean_latency(self) -> float:
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    def mean_queueing_delay(self) -> float:
+        return self._queueing_sum / self._completed if self._completed else 0.0
+
+    def max_queueing_delay(self) -> float:
+        return self._queueing_max
+
+    def mean_execution_time(self) -> float:
+        return self._execution_sum / self._completed if self._completed else 0.0
+
+    def total_steal_bytes(self) -> int:
+        return self._steal_bytes
+
+    def total_cross_steal_rounds(self) -> int:
+        return self._cross_steal_rounds
+
+    def total_cpu_contention(self) -> float:
+        return self._cpu_contention
+
+    def total_disk_wait(self) -> float:
+        return self._disk_wait
+
+    def total_net_wait(self) -> float:
+        return self._net_wait
+
+    # -- per-class views -----------------------------------------------------
+
+    def class_names(self) -> list[str]:
+        names = set(self._per_class)
+        names.update(s.service_class for s in self.shed)
+        return sorted(names)
+
+    def completions_of(self, service_class: str):
+        raise NotImplementedError(
+            "StreamingWorkloadMetrics does not retain completions; use the "
+            "aggregate accessors or plain WorkloadMetrics"
+        )
+
+    def steal_bytes_per_query(self):
+        raise NotImplementedError(
+            "StreamingWorkloadMetrics does not retain completions; use the "
+            "aggregate accessors or plain WorkloadMetrics"
+        )
+
+    def class_throughput(self, service_class: str) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        entry = self._per_class.get(service_class)
+        return (entry[0] if entry else 0) / self.makespan
+
+    def class_latency_percentile(self, service_class: str, p: float) -> float:
+        entry = self._per_class.get(service_class)
+        return percentile(entry[1] if entry else [], p)
+
+    def class_mean_queueing_delay(self, service_class: str) -> float:
+        entry = self._per_class.get(service_class)
+        if not entry or not entry[0]:
+            return 0.0
+        return entry[2] / entry[0]
+
+    def class_resource_waits(self, service_class: str) -> dict:
+        entry = self._per_class.get(service_class)
+        if not entry or not entry[0]:
+            return {"cpu": 0.0, "disk": 0.0, "net": 0.0}
+        n = entry[0]
+        return {"cpu": entry[4] / n, "disk": entry[5] / n,
+                "net": entry[6] / n}
+
+    def slo_attainment(self, service_class: str) -> float:
+        entry = self._per_class.get(service_class)
+        completed = entry[0] if entry else 0
+        met = entry[3] if entry else 0
+        total = completed + len(self.shed_of(service_class))
+        if total == 0:
+            return 1.0
+        return met / total
+
+    def per_class_summary(self) -> dict:
+        return {
+            name: {
+                "completed": (self._per_class[name][0]
+                              if name in self._per_class else 0),
+                "shed": len(self.shed_of(name)),
+                "throughput": self.class_throughput(name),
+                "p50_latency": self.class_latency_percentile(name, 50.0),
+                "p95_latency": self.class_latency_percentile(name, 95.0),
+                "mean_queueing_delay": self.class_mean_queueing_delay(name),
+                "slo_attainment": self.slo_attainment(name),
+                "resource_waits": self.class_resource_waits(name),
+            }
+            for name in self.class_names()
+        }
+
+    # -- deterministic digest ------------------------------------------------
+
+    def summary(self) -> dict:
+        """The parent's digest minus the unbounded ``per_query`` list."""
+        return {
+            "completed": self.completed,
+            "unfinished": self.unfinished,
+            "shed": [
+                (s.query_id, s.service_class, s.arrival_time, s.shed_time,
+                 s.reason)
+                for s in sorted(self.shed, key=lambda s: s.query_id)
+            ],
+            "makespan": self.makespan,
+            "throughput": self.throughput(),
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+            "mean_queueing_delay": self.mean_queueing_delay(),
+            "max_queueing_delay": self.max_queueing_delay(),
+            "mean_execution_time": self.mean_execution_time(),
+            "total_steal_bytes": self.total_steal_bytes(),
+            "total_cpu_contention": self.total_cpu_contention(),
+            "total_disk_wait": self.total_disk_wait(),
+            "total_net_wait": self.total_net_wait(),
+            "cross_steal_rounds": self.total_cross_steal_rounds(),
+            "broker_notifications": self.broker_notifications,
+            "per_class": self.per_class_summary(),
         }

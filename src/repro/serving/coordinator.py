@@ -144,7 +144,8 @@ class QueryRequest:
 
     __slots__ = ("query_id", "plan", "strategy", "params", "service_class",
                  "arrival_time", "seq", "start_time", "done", "completion",
-                 "context", "_sp", "deferred", "shed")
+                 "context", "_sp", "deferred", "shed", "shed_at",
+                 "shed_reason")
 
     def __init__(self, query_id: int, plan: ParallelExecutionPlan,
                  strategy: str, params: ExecutionParams,
@@ -171,6 +172,13 @@ class QueryRequest:
         self.deferred = False
         #: set when overload handling rejected the query before starting.
         self.shed = False
+        #: precomputed shed deadline and reason (both pure functions of
+        #: arrival time, class and policy) — computed once at submission
+        #: so the admission loop's overload scan compares floats instead
+        #: of re-deriving deadlines per wake (O(pending) per event adds
+        #: up on deep queues; see the trace-replay bench).
+        self.shed_at: Optional[float] = None
+        self.shed_reason = "queue_timeout"
 
 
 class MultiQueryCoordinator:
@@ -179,7 +187,8 @@ class MultiQueryCoordinator:
     def __init__(self, config: MachineConfig,
                  params: Optional[ExecutionParams] = None,
                  policy: AdmissionPolicy = AdmissionPolicy(),
-                 logger: Optional[RunLogger] = None):
+                 logger: Optional[RunLogger] = None,
+                 metrics: Optional[WorkloadMetrics] = None):
         self.config = config
         self.params = params or ExecutionParams()
         self.substrate = SharedSubstrate(config, self.params)
@@ -190,6 +199,12 @@ class MultiQueryCoordinator:
         self.admission = AdmissionController(self.substrate, policy)
         self.env = self.substrate.env
         self.pending: deque[QueryRequest] = deque()
+        #: live pending count per service-class name.  Head-of-line scans
+        #: (:meth:`_class_heads`) stop once every distinct class has been
+        #: seen — O(classes) instead of O(pending) per admission wake,
+        #: which is what keeps million-query replays with deep overload
+        #: queues near-linear (see ``benchmarks/bench_trace_replay.py``).
+        self._pending_classes: dict[str, int] = {}
         self.running: dict[int, QueryRequest] = {}
         #: live executing queries per service class (the per-class MPL gate).
         self.running_by_class: dict[str, int] = {}
@@ -198,7 +213,10 @@ class MultiQueryCoordinator:
         #: highest number of simultaneously executing queries observed —
         #: the admission tests assert it never exceeds the policy cap.
         self.peak_running = 0
-        self.metrics = WorkloadMetrics()
+        #: injectable sink: pass a
+        #: :class:`~repro.engine.metrics.StreamingWorkloadMetrics` for
+        #: replays too large to retain per-query results in memory.
+        self.metrics = metrics if metrics is not None else WorkloadMetrics()
         self._arrivals_open = True
         self._kick: Optional[Event] = None
         self._next_query_id = 0
@@ -261,7 +279,19 @@ class MultiQueryCoordinator:
             done=self.env.event(f"query-done:{query_id}"),
         )
         self._next_seq += 1
+        cls = request.service_class
+        request.shed_at = self.admission.shed_deadline(
+            request.arrival_time, cls
+        )
+        if (request.shed_at is not None
+                and self.admission.policy.deadline_shedding
+                and cls.latency_slo is not None
+                and request.shed_at
+                == request.arrival_time + cls.latency_slo):
+            request.shed_reason = "deadline"
         self.pending.append(request)
+        name = cls.name
+        self._pending_classes[name] = self._pending_classes.get(name, 0) + 1
         if self.logger.enabled:
             self.logger.log(QuerySubmitted(
                 time=self.env.now, query_id=request.query_id,
@@ -301,6 +331,7 @@ class MultiQueryCoordinator:
                 if request is None:
                     break
                 self.pending.remove(request)
+                self._drop_pending_class(request)
                 self.admission.on_admitted(request.service_class)
                 if self.logger.enabled:
                     self.logger.log(QueryAdmitted(
@@ -321,9 +352,7 @@ class MultiQueryCoordinator:
         Also counts deferrals: each head that fails its gates is counted
         once per query, not once per re-evaluation.
         """
-        heads: dict[str, QueryRequest] = {}
-        for request in self.pending:
-            heads.setdefault(request.service_class.name, request)
+        heads = self._class_heads()
         order = sorted(
             heads.values(),
             key=lambda r: (-r.service_class.priority, r.seq),
@@ -340,26 +369,57 @@ class MultiQueryCoordinator:
                 self.admission.on_deferred(cls)
         return None
 
+    def _class_heads(self) -> dict[str, QueryRequest]:
+        """Head-of-line pending request per service-class name.
+
+        Walks the FIFO queue front-to-back but stops as soon as every
+        distinct pending class has surfaced its head (the per-class
+        counts are maintained at submit/admit/shed time) — with one
+        class, that is the first element, not the whole queue.
+        """
+        heads: dict[str, QueryRequest] = {}
+        want = len(self._pending_classes)
+        for request in self.pending:
+            name = request.service_class.name
+            if name not in heads:
+                heads[name] = request
+                if len(heads) == want:
+                    break
+        return heads
+
+    def _drop_pending_class(self, request: QueryRequest) -> None:
+        """Account for ``request`` leaving ``pending`` (admitted or shed)."""
+        name = request.service_class.name
+        count = self._pending_classes[name] - 1
+        if count:
+            self._pending_classes[name] = count
+        else:
+            del self._pending_classes[name]
+
     # -- overload handling (shedding) ----------------------------------------
 
     def _shed_expired(self) -> None:
-        """Drop pending queries whose shed deadline has passed."""
+        """Drop pending queries whose shed deadline has passed.
+
+        Deadlines and reasons are precomputed at submission
+        (:attr:`QueryRequest.shed_at`) and, within one class, follow
+        arrival order — so "anything expired?" is answered by the class
+        heads alone, and the O(pending) sweep only runs when a query
+        actually expires.
+        """
         if not self.pending:
             return
         now = self.env.now
+        cutoff = now + 1e-12
+        if not any(r.shed_at is not None and r.shed_at <= cutoff
+                   for r in self._class_heads().values()):
+            return
         kept: deque[QueryRequest] = deque()
         for request in self.pending:
-            deadline = self.admission.shed_deadline(
-                request.arrival_time, request.service_class
-            )
+            deadline = request.shed_at
             if deadline is not None and now >= deadline - 1e-12:
-                cls = request.service_class
-                reason = "queue_timeout"
-                if (self.admission.policy.deadline_shedding
-                        and cls.latency_slo is not None
-                        and deadline == request.arrival_time + cls.latency_slo):
-                    reason = "deadline"
-                self._shed(request, reason)
+                self._shed(request, request.shed_reason)
+                self._drop_pending_class(request)
             else:
                 kept.append(request)
         self.pending = kept
@@ -392,12 +452,10 @@ class MultiQueryCoordinator:
         Without this, a query could rot past its deadline until the next
         completion happens to poke the loop; with it, shedding is exact.
         """
-        deadlines = [
-            d for d in (
-                self.admission.shed_deadline(r.arrival_time, r.service_class)
-                for r in self.pending
-            ) if d is not None
-        ]
+        # Within a class, deadlines follow arrival order: the earliest
+        # pending deadline is always at one of the class heads.
+        deadlines = [r.shed_at for r in self._class_heads().values()
+                     if r.shed_at is not None]
         if not deadlines:
             return
         when = min(deadlines)

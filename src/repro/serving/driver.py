@@ -111,7 +111,8 @@ class WorkloadDriver:
                  spec: Optional[WorkloadSpec] = None,
                  params: Optional[ExecutionParams] = None,
                  logger: Optional[RunLogger] = None,
-                 trace: Optional[Trace] = None):
+                 trace: Optional[Trace] = None,
+                 metrics: Optional[WorkloadMetrics] = None):
         if isinstance(plans, ParallelExecutionPlan):
             plans = [plans]
         if not plans:
@@ -124,6 +125,9 @@ class WorkloadDriver:
         self.logger = logger or NOOP_LOGGER
         #: when set, replay this trace instead of generating arrivals.
         self.trace = trace
+        #: optional metrics sink forwarded to the coordinator (e.g. a
+        #: StreamingWorkloadMetrics for million-query replays).
+        self.metrics = metrics
         if trace is not None:
             for q in trace.queries:
                 if not 0 <= q.plan_index < len(self.plans):
@@ -273,7 +277,7 @@ class WorkloadDriver:
         """
         coordinator = MultiQueryCoordinator(
             self.config, params=self.params, policy=self.spec.policy,
-            logger=self.logger,
+            logger=self.logger, metrics=self.metrics,
         )
         env = coordinator.env
         if self.logger.enabled:

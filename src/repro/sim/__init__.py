@@ -12,6 +12,7 @@ from .core import (
     Event,
     FairShareDiscipline,
     FIFODiscipline,
+    FIFOFastForward,
     Interrupt,
     PriorityPreemptiveDiscipline,
     Process,
@@ -35,6 +36,7 @@ __all__ = [
     "Environment",
     "Event",
     "FIFODiscipline",
+    "FIFOFastForward",
     "FairShareDiscipline",
     "Interrupt",
     "PriorityPreemptiveDiscipline",

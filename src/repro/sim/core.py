@@ -54,10 +54,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from functools import partial
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from .eventq import CalendarQueue
 
 __all__ = [
     "Environment",
@@ -71,6 +74,7 @@ __all__ = [
     "DEFAULT_TAG",
     "SchedulingDiscipline",
     "FIFODiscipline",
+    "FIFOFastForward",
     "FairShareDiscipline",
     "PriorityPreemptiveDiscipline",
     "make_discipline",
@@ -112,7 +116,11 @@ class Event:
     "check then wait" races impossible in the single-threaded kernel.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_fired", "name")
+    # ``_cancelled`` is assigned only by :meth:`Environment.discard` (lazy
+    # deletion); it is read with ``getattr(..., False)`` so event
+    # constructors never pay for initializing it.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_fired",
+                 "name", "_cancelled")
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
@@ -290,28 +298,102 @@ class Environment:
         print(env.now)
     """
 
-    __slots__ = ("_now", "_heap", "_counter", "_active", "_deferred")
+    __slots__ = ("_now", "_heap", "_counter", "_active", "_deferred",
+                 "_tick", "_plain", "_dead")
 
-    def __init__(self) -> None:
+    def __init__(self, tick: Optional[float] = None,
+                 queue: str = "heap") -> None:
+        """``tick`` snaps every scheduled instant to an integer multiple
+        of the given quantum (the integer-tick clock: each instant is
+        canonically ``round(when / tick) * tick``, so two computations
+        landing on the same grid index produce the *same float* no
+        matter what order of additions produced them — bit-identity
+        stops depending on replaying exact float-addition order).
+        ``queue`` selects the pending-event structure: ``"heap"`` (the
+        default binary heap) or ``"calendar"`` (an indexed
+        :class:`~repro.sim.eventq.CalendarQueue`).
+        """
+        if tick is not None and (tick <= 0 or not math.isfinite(tick)):
+            raise SimulationError(
+                f"clock tick must be a positive finite quantum, got {tick}"
+            )
+        if queue not in ("heap", "calendar"):
+            raise SimulationError(
+                f"unknown event queue {queue!r}; known: ['heap', 'calendar']"
+            )
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: Any = [] if queue == "heap" else CalendarQueue()
         self._counter = itertools.count()
         self._active = True
         #: same-instant deferred callbacks (see :meth:`defer`).
         self._deferred: list[Callable[[], None]] = []
+        #: tick-clock quantum; ``None`` is the continuous float clock.
+        self._tick = tick
+        #: fast-path flag: the default configuration (continuous clock,
+        #: binary heap), which the disciplines' inlined heappush sites
+        #: check so the hot path stays one C call.
+        self._plain = tick is None and queue == "heap"
+        #: lazily-cancelled entries still sitting in the queue (see
+        #: :meth:`discard`).
+        self._dead = 0
 
     @property
     def now(self) -> float:
         """Current virtual time (seconds by convention in this repo)."""
         return self._now
 
+    @property
+    def tick(self) -> Optional[float]:
+        """The integer-tick clock quantum (``None``: continuous clock)."""
+        return self._tick
+
     # -- scheduling -------------------------------------------------------
 
     def _schedule_at(self, when: float, event: Event, priority: int) -> None:
-        heapq.heappush(self._heap, (when, priority, next(self._counter), event))
+        if self._plain:
+            heapq.heappush(self._heap,
+                           (when, priority, next(self._counter), event))
+            return
+        tick = self._tick
+        if tick is not None:
+            when = round(when / tick) * tick
+        heap = self._heap
+        entry = (when, priority, next(self._counter), event)
+        if type(heap) is list:
+            heapq.heappush(heap, entry)
+        else:
+            heap.push(entry)
 
     def _schedule_event(self, event: Event, priority: int) -> None:
         self._schedule_at(self._now, event, priority)
+
+    def discard(self, event: Event) -> None:
+        """Lazily cancel a scheduled ``event``; eagerly purge when due.
+
+        The event's entry stays in the queue and fires as a no-op (its
+        callbacks must already be detached) — O(1) instead of an O(n)
+        heap removal.  But a long busy period can accumulate cancelled
+        entries faster than they expire (the fair/priority heap leak:
+        pathological preemption storms grew the heap unboundedly), so
+        once dead entries pass a threshold *and* dominate the live ones,
+        they are purged in one linear sweep.  The dead counter is not
+        decremented when a cancelled entry fires naturally, so a purge
+        can run with fewer dead entries than counted — a cheap no-op
+        sweep, never a leak.
+        """
+        event._cancelled = True
+        self._dead += 1
+        heap = self._heap
+        if self._dead > 64 and self._dead * 2 > len(heap):
+            if type(heap) is list:
+                live = [entry for entry in heap
+                        if not getattr(entry[3], "_cancelled", False)]
+                # In place: the run loop holds a reference to this list.
+                heap[:] = live
+                heapq.heapify(heap)
+            else:
+                heap.purge(lambda ev: getattr(ev, "_cancelled", False))
+            self._dead = 0
 
     def defer(self, callback: Callable[[], None]) -> None:
         """Run ``callback`` after every normal-priority event of the
@@ -377,7 +459,9 @@ class Environment:
         LOW event, or a drained heap.
         """
         heap = self._heap
-        pop = heapq.heappop
+        # The calendar backend duck-types ``heap[0]``/``bool``; only the
+        # pop callable differs (bound per run, invisible to the hot loop).
+        pop = heapq.heappop if type(heap) is list else type(heap).pop
         deferred = self._deferred
         if until is None:
             while heap or deferred:
@@ -553,6 +637,171 @@ class FIFODiscipline(SchedulingDiscipline):
         return len(resource._waiters)
 
 
+class _FFGrant(Event):
+    """The single completion event of an analytic fast-forward charge.
+
+    Born triggered (like a :class:`Timeout`) and scheduled directly at
+    the charge's precomputed completion instant; the owner's resume is
+    its only callback.  Minimal constructor — one of these is the *only*
+    event a fast-forward charge ever allocates.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        self.name = "ff-charge"
+        self.callbacks = []
+        self._ok = True
+        self._fired = False
+        self._triggered = True
+        self._value = None
+
+
+class _FFState:
+    """Per-resource state of :class:`FIFOFastForward`."""
+
+    __slots__ = ("horizons", "grants", "starts")
+
+    def __init__(self, capacity: int) -> None:
+        #: per-slot busy horizon: the instant each slot next falls idle.
+        #: FCFS with ``capacity`` servers is exactly "each arrival takes
+        #: the earliest-free server", so the whole queueing discipline
+        #: reduces to this list.
+        self.horizons = [0.0] * capacity
+        #: per-slot last completion event — consulted only on the exact
+        #: tie ``horizon == now``, where the discrete kernel counts a
+        #: wait iff the holder's completion has not fired yet within the
+        #: current instant.
+        self.grants: list[Optional[Event]] = [None] * capacity
+        #: service-start instants of charges that had to wait, popped
+        #: lazily against the clock — only :attr:`Resource.queued` reads
+        #: it (a rarely-sampled load signal, not the hot path).
+        self.starts: list[float] = []
+
+
+class FIFOFastForward(FIFODiscipline):
+    """Analytic FIFO: O(1) busy-period math instead of queue events.
+
+    The hybrid kernel's fast-forward path (``ExecutionParams.kernel =
+    "hybrid"``).  Because FIFO service order is fixed at arrival — no
+    later arrival can ever be served earlier — a charge's start instant
+    is computable the moment it is issued: the earliest slot horizon
+    (or ``now`` when a slot is idle).  The discipline therefore grants
+    *every* charge analytically: one precomputed completion event per
+    charge, zero acquire/release events, zero extra generator resumes —
+    the generalization of ``Resource.use_until`` (the macro-charge flush
+    path) and of the seed disk's ``busy_until`` arm to all FIFO
+    resources, contended or not.
+
+    Equivalence to the discrete :class:`FIFODiscipline`:
+
+    * *uncontended* charges are event-for-event identical — same
+      ``(finish, priority, sequence)`` heap entry, same single counter
+      draw — so single-query figure outputs stay byte-identical with
+      fast-forward enabled (a CI determinism gate);
+    * *contended* charges complete at bit-identical instants with
+      bit-identical per-charge wait times (the same float arithmetic in
+      a different place), but the completion event's sequence number is
+      drawn at issue instead of at grant — an *exact* same-instant tie
+      against an unrelated event can therefore order differently, which
+      is why hybrid mode is opt-in rather than the default.  The
+      property suite (``tests/test_sim_hybrid.py``) pins the
+      trajectory-level equality on randomized charge streams, and the
+      serving equivalence test pins metrics equality on the Section
+      5.1.2 mix.
+
+    The stride/segment math of the fair and priority disciplines does
+    *not* permit this precomputation: a future arrival with a smaller
+    pass (or higher priority) legally reorders — or preempts — already
+    queued service, so a queued charge's start instant is unknowable at
+    issue.  Their grants are already analytic in the uncontended sense
+    (one event per charge since the macro-charge PR); the hybrid
+    kernel's gains for them come from the cancelled-entry purge and the
+    selectable event-queue backend instead.
+
+    Not in the ``make_discipline`` registry: selected structurally via
+    ``Resource(fast_forward=True)`` so ``discipline.name == "fifo"``
+    checks (the disk's analytic arm, ``use_until``) keep meaning "FIFO
+    semantics" for both paths.
+    """
+
+    name = "fifo"
+
+    def attach(self, resource: "Resource") -> None:
+        resource._sched = _FFState(resource.capacity)
+
+    def use(self, resource: "Resource", delay: float,
+            tag: ChargeTag) -> Generator:
+        env = resource.env
+        state: _FFState = resource._sched
+        horizons = state.horizons
+        if len(horizons) > 1:
+            # C-level min+index beats a Python scan on the small slot
+            # lists this models (machines have a handful of CPUs).
+            start = min(horizons)
+            slot = horizons.index(start)
+        else:
+            start = horizons[0]
+            slot = 0
+        now = env._now
+        if start > now:
+            resource.waits += 1
+            resource.wait_time += start - now
+            heapq.heappush(state.starts, start)
+        else:
+            if start == now:
+                # Exact tie: this slot's horizon is *now*, but its
+                # holder's completion may not have fired yet within the
+                # current instant — the discrete kernel would then still
+                # count the slot as occupied.  Prefer a genuinely free
+                # slot (fired or never-used grant); only when every slot
+                # is occupied does the arrival take a zero-length wait,
+                # exactly like the discrete ``users >= capacity`` test.
+                prev = state.grants[slot]
+                if prev is not None and not prev._fired:
+                    for j in range(len(horizons)):
+                        if horizons[j] <= now:
+                            grant = state.grants[j]
+                            if grant is None or grant._fired:
+                                slot = j
+                                break
+                    else:
+                        resource.waits += 1
+            start = now
+        finish = start + delay
+        tick = env._tick
+        if tick is not None:
+            # Keep horizons on the tick grid: the stored horizon must be
+            # the exact float instant the completion event fires at, or
+            # later waits would be computed off-grid and drift from the
+            # discrete path's quantized grant instants.
+            finish = round(finish / tick) * tick
+        horizons[slot] = finish
+        done = _FFGrant()
+        state.grants[slot] = done
+        if env._plain:
+            heapq.heappush(env._heap,
+                           (finish, NORMAL, next(env._counter), done))
+        else:
+            env._schedule_at(finish, done, NORMAL)
+        yield done
+        # Accumulate in completion order — the same float-summation order
+        # as the discrete path (which adds after its timeout fires) — so
+        # ``busy_time`` is bit-identical between the two kernels.
+        resource.busy_time += delay
+
+    def queued(self, resource: "Resource") -> int:
+        starts = resource._sched.starts
+        now = resource.env._now
+        while starts and starts[0] <= now:
+            heapq.heappop(starts)
+        return len(starts)
+
+
+#: shared stateless singleton; installed by ``Resource(fast_forward=True)``.
+_FF_FIFO = FIFOFastForward()
+
+
 class _Park(Event):
     """A never-scheduled parking spot for a waiting charge's callbacks.
 
@@ -690,10 +939,14 @@ class FairShareDiscipline(SchedulingDiscipline):
                 state.vtime = finish
             # Start serving now: the charge becomes its service timeout
             # and the caller resumes straight off it (inlined
-            # ``_schedule_at`` — this is the per-charge hot path).
+            # ``_schedule_at`` — this is the per-charge hot path; the
+            # tick-clock/calendar configurations take the full method).
             charge._triggered = True
-            heapq.heappush(env._heap, (env._now + delay, NORMAL,
-                                       next(env._counter), charge))
+            if env._plain:
+                heapq.heappush(env._heap, (env._now + delay, NORMAL,
+                                           next(env._counter), charge))
+            else:
+                env._schedule_at(env._now + delay, charge, NORMAL)
         else:
             heapq.heappush(state.heap,
                            (finish, next(resource._seq), charge, env._now))
@@ -737,8 +990,11 @@ class FairShareDiscipline(SchedulingDiscipline):
                 state.vtime = finish
             resource.wait_time += env._now - parked_at
             charge._triggered = True
-            heapq.heappush(env._heap, (env._now + charge.delay, NORMAL,
-                                       next(env._counter), charge))
+            if env._plain:
+                heapq.heappush(env._heap, (env._now + charge.delay, NORMAL,
+                                           next(env._counter), charge))
+            else:
+                env._schedule_at(env._now + charge.delay, charge, NORMAL)
             return
         for _ in range(due):
             if heap:
@@ -751,8 +1007,12 @@ class FairShareDiscipline(SchedulingDiscipline):
                 # Convert the parked charge into its service timeout in
                 # place: the owner's resume already rides on it.
                 charge._triggered = True
-                heapq.heappush(env._heap, (env._now + charge.delay, NORMAL,
-                                           next(env._counter), charge))
+                if env._plain:
+                    heapq.heappush(env._heap,
+                                   (env._now + charge.delay, NORMAL,
+                                    next(env._counter), charge))
+                else:
+                    env._schedule_at(env._now + charge.delay, charge, NORMAL)
             else:
                 resource.users -= 1
         if resource.users == 0:
@@ -852,8 +1112,11 @@ class PriorityPreemptiveDiscipline(SchedulingDiscipline):
     the first segment absorbs).  Preempting a segment bumps the charge's
     segment token and strips the callbacks instead of cancelling the
     heap entry (O(n) removal) — the dead timeout fires later as a
-    lazy-deleted no-op, bounded at one entry per preemption, gone within
-    the charge's own (sub-millisecond) duration.
+    lazy-deleted no-op.  Each cancellation is also reported to
+    :meth:`Environment.discard`, whose threshold purge bounds the heap
+    when a pathological preemption storm cancels entries faster than
+    they expire (long victims preempted repeatedly used to leak one
+    far-future entry per preemption for the whole busy period).
     """
 
     name = "priority"
@@ -911,6 +1174,10 @@ class PriorityPreemptiveDiscipline(SchedulingDiscipline):
             seg = victim.cur_seg
             victim.pending_cbs = seg.callbacks[1:]  # strip [segment_cb, ...]
             seg.callbacks = []
+            # The dead entry fires as a no-op — but count it, so a
+            # preemption storm that cancels faster than entries expire
+            # triggers the eager purge instead of growing the heap.
+            env.discard(seg)
             victim.cur_seg = None
             state.running.remove(victim)
             resource.preemptions += 1
@@ -1022,6 +1289,15 @@ class Resource:
     slot management; the fair and preemptive disciplines manage slots
     inside :meth:`use` only.
 
+    ``fast_forward=True`` swaps a FIFO resource onto the analytic
+    :class:`FIFOFastForward` path (the hybrid kernel): charges are
+    granted by O(1) busy-period math with a single precomputed
+    completion event each — see that class for the exact equivalence
+    contract.  The flag is ignored for non-FIFO disciplines (their
+    queued service legally reorders under future arrivals, so start
+    instants are not precomputable); :meth:`acquire`/:meth:`release`
+    are unsupported in fast-forward mode (no slot state to hand over).
+
     Limitation: interrupting a process that is parked waiting for a slot
     leaks its queue entry — and under the fair/priority disciplines the
     parked process's resume callback migrates between park events and
@@ -1030,11 +1306,12 @@ class Resource:
     """
 
     __slots__ = ("env", "capacity", "name", "users", "_waiters",
-                 "discipline", "_sched", "_seq", "_use",
+                 "discipline", "_sched", "_seq", "_use", "fast_forward",
                  "busy_time", "wait_time", "waits", "preemptions")
 
     def __init__(self, env: Environment, capacity: int = 1, name: str = "",
-                 discipline: Optional[SchedulingDiscipline] = None):
+                 discipline: Optional[SchedulingDiscipline] = None,
+                 fast_forward: bool = False):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1: {capacity}")
         self.env = env
@@ -1044,6 +1321,10 @@ class Resource:
         self._waiters: deque[Event] = deque()
         self.discipline = discipline if discipline is not None \
             else _DISCIPLINES["fifo"]
+        self.fast_forward = bool(fast_forward) \
+            and self.discipline.name == "fifo"
+        if self.fast_forward:
+            self.discipline = _FF_FIFO
         self._sched: Any = None
         self._seq = itertools.count()
         # --- statistics -------------------------------------------------
@@ -1065,10 +1346,20 @@ class Resource:
     @property
     def in_use(self) -> int:
         """Slots currently held."""
+        if self.fast_forward:
+            now = self.env._now
+            return sum(1 for horizon in self._sched.horizons
+                       if horizon > now)
         return self.users
 
     def acquire(self) -> Generator:
         """Wait for (and take) a slot FIFO; ``yield from`` this generator."""
+        if self.fast_forward:
+            raise SimulationError(
+                f"resource {self.name!r} runs the analytic fast-forward "
+                "path; explicit acquire/release has no slot state to "
+                "transfer — charge through use()/use_until() instead"
+            )
         if self.users < self.capacity and not self._waiters:
             self.users += 1
             return
@@ -1081,6 +1372,12 @@ class Resource:
 
     def release(self) -> None:
         """Return a slot; hands it straight to the oldest FIFO waiter."""
+        if self.fast_forward:
+            raise SimulationError(
+                f"resource {self.name!r} runs the analytic fast-forward "
+                "path; explicit acquire/release has no slot state to "
+                "transfer — charge through use()/use_until() instead"
+            )
         if self.users < 1:
             raise SimulationError(f"resource {self.name!r} released too often")
         if self._waiters:
@@ -1129,6 +1426,59 @@ class Resource:
                 f"(now {self.env._now}): a visibility boundary was "
                 "crossed without flushing"
             )
+        if self.fast_forward:
+            # The analytic generalization: an idle slot completes at the
+            # exact absolute ``at`` (the batched quantum's bit-identity),
+            # a busy one at ``horizon + delay`` — the same float
+            # arithmetic as the discrete fallback's grant + timeout.
+            state: _FFState = self._sched
+            horizons = state.horizons
+            start = horizons[0]
+            slot = 0
+            if len(horizons) > 1:
+                for j in range(1, len(horizons)):
+                    if horizons[j] < start:
+                        start, slot = horizons[j], j
+            now = self.env._now
+            if start < now:
+                finish = at
+            elif start > now:
+                self.waits += 1
+                self.wait_time += start - now
+                heapq.heappush(state.starts, start)
+                finish = start + delay
+            else:
+                # Exact tie (see FIFOFastForward.use): prefer a genuinely
+                # free slot; with every slot occupied the discrete path
+                # would have fallen back to the queued ``use`` —
+                # zero-length wait, ``now + delay`` arithmetic instead of
+                # the exact ``at``.
+                finish = at
+                prev = state.grants[slot]
+                if prev is not None and not prev._fired:
+                    for j in range(len(horizons)):
+                        if horizons[j] <= now:
+                            grant = state.grants[j]
+                            if grant is None or grant._fired:
+                                slot = j
+                                break
+                    else:
+                        self.waits += 1
+                        finish = start + delay
+            tick = self.env._tick
+            if tick is not None:
+                # Horizons must equal the fired event's on-grid instant
+                # (see FIFOFastForward.use).
+                finish = round(finish / tick) * tick
+            horizons[slot] = finish
+            done = _FFGrant()
+            state.grants[slot] = done
+            self.env._schedule_at(finish, done, NORMAL)
+            yield done
+            # Completion-order accumulation, matching the discrete branch
+            # below — keeps ``busy_time`` bit-identical across kernels.
+            self.busy_time += delay
+            return
         if self.discipline.name != "fifo" or self.users >= self.capacity \
                 or self._waiters:
             yield from self._use(self, delay,

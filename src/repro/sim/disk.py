@@ -160,6 +160,17 @@ class Disk:
         return "fifo" if self._arm is None else self._arm.discipline.name
 
     @property
+    def fast_forward(self) -> bool:
+        """Whether this arm services requests analytically (O(1) events).
+
+        The FIFO path (``_arm is None``) *is* the busy-period math the
+        hybrid kernel's :class:`~repro.sim.core.FIFOFastForward`
+        generalizes — the disk has always fast-forwarded; only the
+        fair/priority arm schedules discrete grants.
+        """
+        return self._arm is None
+
+    @property
     def preemptions(self) -> int:
         """Transfers preempted mid-service (0 under FIFO/fair)."""
         return 0 if self._arm is None else self._arm.preemptions

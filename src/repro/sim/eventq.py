@@ -1,0 +1,218 @@
+"""Calendar-queue event structure: an indexed alternative to the binary heap.
+
+A classic calendar queue [Brown88] hashes each pending event into a
+bucket by ``event_time // bucket_width`` modulo the number of buckets —
+one "day" per bucket, wrapping every "year".  Dequeue walks the calendar
+from the current day forward, so when events are spread over time both
+enqueue and dequeue are O(1) amortized, independent of queue length —
+the property binary heaps lack (O(log n) per operation).
+
+This implementation orders entries exactly like the kernel's heap: each
+entry is the full ``(time, priority, sequence, event)`` tuple, each
+bucket is itself a small binary heap on that tuple, and two entries with
+equal times always land in the same bucket — so the total order is
+identical to ``heapq`` over one flat list, which the equivalence
+property test (``tests/test_sim_hybrid.py``) asserts directly.
+
+Honesty note on performance: CPython's ``heapq`` is a C accelerator;
+this queue is pure Python.  For this repo's workloads (large same-instant
+cascades, modest queue depths) the C heap wins — see the measured
+numbers in ``BENCH_kernel.json`` (``timer_calendar``) and the README's
+Performance section.  The backend stays selectable
+(``Environment(queue="calendar")`` / ``ExecutionParams.event_queue``)
+for deep-queue scenarios and as the scaffold the purge logic
+(:meth:`CalendarQueue.purge`) shares with the default heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["CalendarQueue"]
+
+#: resize triggers: grow when the average bucket holds more than this
+#: many entries, shrink when buckets are mostly empty.
+_GROW_FACTOR = 2
+_MIN_BUCKETS = 8
+
+
+class CalendarQueue:
+    """A priority queue of ``(time, priority, seq, event)`` tuples.
+
+    Duck-types the slice of the ``list`` + ``heapq`` protocol the
+    :class:`~repro.sim.core.Environment` run loop uses: truthiness,
+    ``len``, ``q[0]`` (peek at the minimum entry) and ``q.pop()``
+    (remove and return it); ``push`` replaces ``heapq.heappush``.
+    """
+
+    __slots__ = ("_buckets", "_nb", "_mask", "_width", "_size", "_day",
+                 "_day_end", "_min_bucket")
+
+    def __init__(self, bucket_width: float = 1e-3,
+                 buckets: int = _MIN_BUCKETS) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket width must be positive: {bucket_width}")
+        if buckets < 1 or buckets & (buckets - 1):
+            raise ValueError(f"bucket count must be a power of two: {buckets}")
+        self._nb = buckets
+        self._mask = buckets - 1
+        self._width = bucket_width
+        self._buckets: list[list] = [[] for _ in range(buckets)]
+        self._size = 0
+        #: calendar position: the day (bucket) the last dequeue left off
+        #: in, and the absolute end time of that day's window.
+        self._day = 0
+        self._day_end = bucket_width
+        #: cached index of the bucket holding the global minimum entry
+        #: (None: unknown, recomputed by the next peek/pop).
+        self._min_bucket: int | None = None
+
+    # -- container protocol (what Environment.run touches) -----------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __getitem__(self, index: int):
+        """Peek: only index 0 (the minimum entry) is meaningful."""
+        if index != 0:
+            raise IndexError("CalendarQueue only exposes the minimum entry")
+        if not self._size:
+            raise IndexError("peek at an empty CalendarQueue")
+        return self._buckets[self._find_min()][0]
+
+    def __iter__(self):
+        """All pending entries, unordered (used by tests/diagnostics)."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    # -- queue operations ---------------------------------------------------
+
+    def push(self, entry) -> None:
+        """Insert ``entry``; same contract as ``heapq.heappush``."""
+        when = entry[0]
+        index = int(when / self._width) & self._mask
+        heapq.heappush(self._buckets[index], entry)
+        self._size += 1
+        if when < self._day_end - self._width:
+            # Entry lands before the calendar's current day: rewind the
+            # position or the forward year-walk would return a later
+            # bucket's head first.  (The kernel never schedules into the
+            # past, but a pop at time t may be followed by a push at
+            # t' < t while t' is still >= the *simulation* clock.)
+            day = int(when / self._width)
+            self._day = day & self._mask
+            self._day_end = (day + 1) * self._width
+        cached = self._min_bucket
+        if cached is not None and entry < self._buckets[cached][0]:
+            self._min_bucket = index
+        if self._size > _GROW_FACTOR * self._nb:
+            self._resize(self._nb * 2)
+
+    def pop(self):
+        """Remove and return the minimum entry."""
+        if not self._size:
+            raise IndexError("pop from an empty CalendarQueue")
+        index = self._find_min()
+        bucket = self._buckets[index]
+        entry = heapq.heappop(bucket)
+        self._size -= 1
+        # The popped minimum advances the calendar position; the cache
+        # stays valid only if its bucket still leads the day window.
+        day = int(entry[0] / self._width)
+        self._day = day & self._mask
+        self._day_end = (day + 1) * self._width
+        if bucket and bucket[0][0] < self._day_end:
+            self._min_bucket = index
+        else:
+            self._min_bucket = None
+        if self._nb > _MIN_BUCKETS and self._size * _GROW_FACTOR * 2 < self._nb:
+            self._resize(self._nb // 2)
+        return entry
+
+    def purge(self, dead_predicate) -> int:
+        """Drop every entry whose event satisfies ``dead_predicate``.
+
+        The eager half of lazy deletion: cancelled entries normally fire
+        as no-ops, but a long busy period can accumulate them faster
+        than they expire — the caller (``Environment.discard``) triggers
+        a purge when dead entries dominate.  Returns the number removed.
+        """
+        removed = 0
+        for bucket in self._buckets:
+            live = [e for e in bucket if not dead_predicate(e[3])]
+            if len(live) != len(bucket):
+                removed += len(bucket) - len(live)
+                bucket[:] = live
+                heapq.heapify(bucket)
+        self._size -= removed
+        self._min_bucket = None
+        return removed
+
+    # -- internals ----------------------------------------------------------
+
+    def _find_min(self) -> int:
+        """Index of the bucket holding the global minimum entry."""
+        cached = self._min_bucket
+        if cached is not None:
+            return cached
+        buckets, nb, width = self._buckets, self._nb, self._width
+        day, day_end = self._day, self._day_end
+        # Walk the calendar from the current day: a bucket's head is the
+        # minimum iff it falls inside the day's absolute window
+        # (otherwise it belongs to a later year of the same day).
+        for _ in range(nb):
+            bucket = buckets[day]
+            if bucket and bucket[0][0] < day_end:
+                self._min_bucket = day
+                self._day, self._day_end = day, day_end
+                return day
+            day = (day + 1) & self._mask
+            day_end += width
+        # A full year with no hit: the queue is sparse relative to the
+        # horizon — fall back to a direct scan and jump the calendar.
+        best = None
+        for index, bucket in enumerate(buckets):
+            if bucket and (best is None or bucket[0] < buckets[best][0]):
+                best = index
+        assert best is not None, "size says non-empty but all buckets empty"
+        jump = int(buckets[best][0][0] / width)
+        self._day = jump & self._mask
+        self._day_end = (jump + 1) * width
+        self._min_bucket = best
+        return best
+
+    def _resize(self, nb_new: int) -> None:
+        """Rebuild with ``nb_new`` buckets and a re-estimated width."""
+        entries = [e for bucket in self._buckets for e in bucket]
+        self._width = self._estimate_width(entries)
+        self._nb = nb_new
+        self._mask = nb_new - 1
+        self._buckets = [[] for _ in range(nb_new)]
+        width, mask, buckets = self._width, self._mask, self._buckets
+        for entry in entries:
+            heapq.heappush(buckets[int(entry[0] / width) & mask], entry)
+        self._min_bucket = None
+        if entries:
+            day = int(min(e[0] for e in entries) / width)
+            self._day = day & mask
+            self._day_end = (day + 1) * width
+
+    def _estimate_width(self, entries: list) -> float:
+        """Bucket width ~ the mean gap between adjacent event times.
+
+        Classic calendar-queue sizing: a day should hold a handful of
+        events.  Zero gaps (same-instant cascades, this repo's dominant
+        pattern) are ignored — they land in one bucket regardless.
+        """
+        if len(entries) < 2:
+            return self._width
+        sample = sorted(e[0] for e in entries[:256])
+        gaps = [b - a for a, b in zip(sample, sample[1:]) if b > a]
+        if not gaps:
+            return self._width
+        mean_gap = sum(gaps) / len(gaps)
+        # 4 events per day on average; clamp against degenerate widths.
+        return max(mean_gap * 4.0, 1e-12)

@@ -172,23 +172,27 @@ class Processor(Resource):
     __slots__ = ("node_id", "index")
 
     def __init__(self, env: Environment, node_id: int, index: int,
-                 discipline: SchedulingDiscipline | None = None):
+                 discipline: SchedulingDiscipline | None = None,
+                 fast_forward: bool = False):
         super().__init__(env, capacity=1, name=f"cpu:n{node_id}.{index}",
-                         discipline=discipline)
+                         discipline=discipline, fast_forward=fast_forward)
         self.node_id = node_id
         self.index = index
 
 
 def make_processors(env: Environment, config: MachineConfig,
-                    discipline: SchedulingDiscipline | None = None
-                    ) -> list[list[Processor]]:
+                    discipline: SchedulingDiscipline | None = None,
+                    fast_forward: bool = False) -> list[list[Processor]]:
     """One :class:`Processor` per (node, index) of ``config``.
 
     All processors of a machine share one ``discipline`` instance (the
     disciplines are stateless; per-processor state lives on the resource).
+    ``fast_forward`` selects the hybrid kernel's analytic FIFO path (a
+    no-op under fair/priority disciplines — see :class:`Resource`).
     """
     return [
-        [Processor(env, node_id, index, discipline)
+        [Processor(env, node_id, index, discipline,
+                   fast_forward=fast_forward)
          for index in range(config.processors_per_node)]
         for node_id in range(config.nodes)
     ]
@@ -202,7 +206,8 @@ def make_disks(env: Environment, disk_params, config: MachineConfig,
     context-owned and serving-shared substrates so they can never
     desynchronize.  All disks of a machine share one ``discipline``
     instance, exactly like the processors (``None`` keeps the analytic
-    FIFO arm, the paper's model).
+    FIFO arm, the paper's model — the disk is "fast-forward" by
+    construction: :attr:`repro.sim.disk.Disk.fast_forward`).
     """
     from .disk import Disk  # late import: disk depends only on core
     return [

@@ -167,6 +167,36 @@ class TestServingStress4x8:
                 < metrics.class_latency_percentile("batch", 95.0))
 
 
+class TestServingStress50Tier1:
+    """The 50-query closed-loop stress shape, promoted into tier-1.
+
+    Runs under the hybrid kernel (``ExecutionParams.kernel="hybrid"``),
+    so every push exercises analytic fast-forward at real
+    multiprogramming scale — 50 queries on the paper's 4x8 machine —
+    and the run stays well inside the tier-1 time budget (<10s).  The
+    discrete-kernel original remains in the slow tier above.
+    """
+
+    def test_closed_loop_50_queries_hybrid_kernel(self):
+        plan, config = pipeline_chain_scenario(
+            nodes=4, processors_per_node=8, base_tuples=4000,
+        )
+        params = ExecutionParams(
+            skew=SkewSpec.uniform_redistribution(0.8), seed=1,
+            kernel="hybrid",
+        )
+        spec = stress_spec(
+            50, ArrivalSpec(kind="closed", population=12), mpl=12
+        )
+        driver = WorkloadDriver(plan, config, spec, params)
+        coordinator = driver.build_coordinator()
+        metrics = coordinator.run()
+        assert_workload_sane(plan, metrics, 50)
+        assert coordinator.peak_running <= 12
+        assert coordinator.peak_running >= 8
+        assert metrics.total_cpu_contention() > 0.0
+
+
 class TestServingStressSmoke:
     """Tier-1-sized version of the stress shape (always runs)."""
 

@@ -1,0 +1,333 @@
+"""Property tests for the hybrid kernel (PR 7).
+
+Three families of guarantees:
+
+* **analytic == discrete**: the FIFO fast-forward path produces the
+  bit-identical completion trajectory, waits, wait_time and busy_time of
+  the discrete event-per-charge path on arbitrary charge streams — and
+  the fast-forward flag is a structural no-op under fair/priority (those
+  disciplines keep their discrete queued service either way);
+* **backends are interchangeable**: the calendar event queue orders
+  entries exactly like the binary heap, and the integer-tick clock keeps
+  hybrid and discrete bit-identical on the quantized grid too;
+* **the heap does not leak**: lazily-cancelled entries (priority
+  preemption storms) are eagerly purged once they dominate the queue.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import (ChargeTag, Environment, Resource,
+                            SimulationError, make_discipline)
+from repro.sim.eventq import CalendarQueue
+
+
+def run_stream(charges, capacity, *, fast_forward, discipline=None,
+               tick=None, queue="heap", use_until_every=0):
+    """Run ``charges`` = [(start_delay, duration, key, weight, priority)]
+    through one resource; return (trajectory, stats tuple)."""
+    env = Environment(tick=tick, queue=queue)
+    resource = Resource(
+        env, capacity=capacity, name="r",
+        discipline=make_discipline(discipline) if discipline else None,
+        fast_forward=fast_forward,
+    )
+    done = []
+
+    def proc(index, start, duration, tag):
+        if start > 0:
+            yield env.timeout(start)
+        if use_until_every and index % use_until_every == 0:
+            yield from resource.use_until(duration, tag, env.now + duration)
+        else:
+            yield from resource.use(duration, tag)
+        done.append((index, env.now))
+
+    for index, (start, duration, key, weight, priority) in enumerate(charges):
+        tag = ChargeTag(key=key, weight=weight, priority=priority)
+        env.process(proc(index, start, duration, tag))
+    env.run()
+    stats = (resource.waits, resource.wait_time, resource.busy_time, env.now)
+    return done, stats
+
+
+charge_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.02),   # start delay
+        st.floats(min_value=0.0, max_value=0.01),   # duration (0 allowed)
+        st.sampled_from(["a", "b", "c"]),           # class key
+        st.floats(min_value=0.25, max_value=8.0),   # weight
+        st.integers(min_value=0, max_value=3),      # priority
+    ),
+    min_size=1, max_size=30,
+)
+
+
+class TestAnalyticEqualsDiscrete:
+    @given(charges=charge_lists, capacity=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fifo_fast_forward_bit_identical(self, charges, capacity):
+        """FIFO: the analytic path's trajectory and stats are bitwise
+        equal to the discrete path's, contended or not."""
+        discrete = run_stream(charges, capacity, fast_forward=False)
+        hybrid = run_stream(charges, capacity, fast_forward=True)
+        assert repr(discrete) == repr(hybrid)
+
+    @given(charges=charge_lists, capacity=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_use_until_fast_forward_bit_identical(self, charges,
+                                                           capacity):
+        """The generalized ``use_until`` (macro-charge flush) fast-forward
+        matches the discrete path too, mixed into a regular stream."""
+        discrete = run_stream(charges, capacity, fast_forward=False,
+                              use_until_every=3)
+        hybrid = run_stream(charges, capacity, fast_forward=True,
+                            use_until_every=3)
+        assert repr(discrete) == repr(hybrid)
+
+    @pytest.mark.parametrize("discipline", ["fair", "priority"])
+    @given(charges=charge_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_property_fair_priority_flag_is_structural_noop(self, discipline,
+                                                            charges):
+        """fair/priority cannot precompute queued grants (future arrivals
+        legally reorder them), so the flag must leave their discrete
+        service untouched — trajectories identical with it on or off."""
+        off = run_stream(charges, 2, fast_forward=False,
+                         discipline=discipline)
+        on = run_stream(charges, 2, fast_forward=True, discipline=discipline)
+        assert repr(off) == repr(on)
+
+    @given(charges=charge_lists, capacity=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_tick_clock_keeps_kernels_bit_identical(self, charges,
+                                                             capacity):
+        """On the quantized grid, fast-forward horizons stay on-grid, so
+        hybrid == discrete holds bitwise under the tick clock too."""
+        discrete = run_stream(charges, capacity, fast_forward=False,
+                              tick=1e-7)
+        hybrid = run_stream(charges, capacity, fast_forward=True, tick=1e-7)
+        assert repr(discrete) == repr(hybrid)
+
+    @given(charges=charge_lists, capacity=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_calendar_queue_backend_bit_identical(self, charges,
+                                                           capacity):
+        """The calendar backend is ordering-identical to the heap, under
+        both kernels."""
+        for ff in (False, True):
+            heap = run_stream(charges, capacity, fast_forward=ff)
+            calendar = run_stream(charges, capacity, fast_forward=ff,
+                                  queue="calendar")
+            assert repr(heap) == repr(calendar)
+
+
+class TestFastForwardResource:
+    def test_in_use_counts_busy_horizons(self):
+        env = Environment()
+        resource = Resource(env, capacity=2, fast_forward=True)
+
+        def charge(duration):
+            yield from resource.use(duration, None)
+
+        env.process(charge(2.0))
+        env.process(charge(5.0))
+        env.process(charge(1.0))  # queued behind the first two
+
+        env.run(until=1.0)
+        assert resource.in_use == 2
+        env.run(until=4.0)  # first done at 2.0, third runs 2.0..3.0
+        assert resource.in_use == 1
+        env.run()
+        assert resource.in_use == 0
+        assert resource.waits == 1
+
+    def test_acquire_release_refused_under_fast_forward(self):
+        env = Environment()
+        resource = Resource(env, capacity=1, fast_forward=True)
+        with pytest.raises(SimulationError):
+            list(resource.acquire())  # generator: raises on first step
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_flag_requires_fifo_discipline(self):
+        env = Environment()
+        fair = Resource(env, capacity=1,
+                        discipline=make_discipline("fair"),
+                        fast_forward=True)
+        assert fair.fast_forward is False
+        fifo = Resource(env, capacity=1, fast_forward=True)
+        assert fifo.fast_forward is True
+        assert fifo.discipline.name == "fifo"
+
+
+class TestTickClock:
+    def test_instants_quantized_to_grid(self):
+        env = Environment(tick=0.5)
+        log = []
+
+        def proc():
+            yield env.timeout(0.6)   # rounds to 0.5
+            log.append(env.now)
+            yield env.timeout(0.76)  # 0.5 + 0.76 = 1.26 rounds to 1.5
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [0.5, 1.5]
+
+    def test_invalid_tick_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment(tick=0.0)
+        with pytest.raises(SimulationError):
+            Environment(tick=-1.0)
+
+    def test_invalid_queue_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment(queue="splay")
+
+
+class TestCalendarQueue:
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                          min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_pop_order_matches_heapq(self, times):
+        import heapq
+        entries = [(t, 1, seq, None) for seq, t in enumerate(times)]
+        cal = CalendarQueue()
+        for entry in entries:
+            cal.push(entry)
+        heap = list(entries)
+        heapq.heapify(heap)
+        popped = []
+        while cal:
+            assert cal[0] == heap[0]
+            popped.append(cal.pop())
+            heapq.heappop(heap)
+        assert popped == sorted(entries)
+
+    def test_interleaved_push_pop_with_resizes(self):
+        rng = random.Random(42)
+        cal = CalendarQueue(bucket_width=1e-3, buckets=8)
+        mirror = []
+        import heapq
+        seq = 0
+        for _ in range(2000):
+            if mirror and rng.random() < 0.45:
+                assert cal.pop() == heapq.heappop(mirror)
+            else:
+                entry = (rng.random() * rng.choice([1e-4, 1.0, 100.0]),
+                         rng.randint(0, 2), seq, None)
+                seq += 1
+                cal.push(entry)
+                heapq.heappush(mirror, entry)
+        while mirror:
+            assert cal.pop() == heapq.heappop(mirror)
+        assert not cal
+
+    def test_purge_removes_only_dead_entries(self):
+        cal = CalendarQueue()
+        for seq in range(100):
+            cal.push((seq * 0.1, 1, seq, seq))
+        removed = cal.purge(lambda payload: payload % 2 == 0)
+        assert removed == 50
+        assert len(cal) == 50
+        assert [cal.pop()[3] for _ in range(50)] == list(range(1, 100, 2))
+
+
+class TestLazyDeletionPurge:
+    def test_discard_purges_when_dead_dominate(self):
+        env = Environment()
+        events = [env.timeout(float(i + 1)) for i in range(500)]
+        assert len(env._heap) == 500
+        for event in events[:400]:
+            event.callbacks = []
+            env.discard(event)
+        # The purge triggers whenever dead entries pass the fixed floor
+        # AND dominate the queue, so the heap can never hold more than
+        # live + max(64, live) entries (here: 100 live).
+        assert len(env._heap) <= 200
+        # All 100 live events are still there.
+        live = [e for e in env._heap if not getattr(e[3], "_cancelled", False)]
+        assert len(live) == 100
+
+    def test_preemption_storm_keeps_heap_bounded(self):
+        """The regression the purge fixes: a long-running victim preempted
+        over and over leaves one cancelled far-future segment timeout per
+        preemption — unbounded growth within one busy period before the
+        purge, bounded now."""
+        env = Environment()
+        resource = Resource(env, capacity=1,
+                            discipline=make_discipline("priority"))
+        peak = [0]
+
+        def victim():
+            tag = ChargeTag(key="batch", weight=1.0, priority=0)
+            yield from resource.use(1000.0, tag)
+
+        def interactive():
+            tag = ChargeTag(key="slo", weight=1.0, priority=9)
+            for _ in range(600):
+                yield env.timeout(0.01)
+                yield from resource.use(1e-4, tag)
+                peak[0] = max(peak[0], len(env._heap))
+
+        env.process(victim())
+        env.process(interactive())
+        env.run()
+        assert resource.preemptions >= 600
+        # Each preemption lazily cancels the victim's far-future segment
+        # timeout; without the purge those ~600 dead entries pile up in
+        # one busy period.  With it, dead entries can never exceed
+        # max(64, live) and live events here are a handful.
+        assert peak[0] < 150
+
+
+class TestServingHybridEquivalence:
+    def test_workload_summary_identical_and_streaming_matches(self):
+        """Serving-level gate: a mixed multi-query workload produces the
+        identical ``WorkloadMetrics.summary()`` under the hybrid kernel,
+        and ``StreamingWorkloadMetrics`` reports the same digest without
+        retaining per-query results."""
+        import dataclasses
+
+        from repro.catalog import SkewSpec
+        from repro.engine import ExecutionParams
+        from repro.engine.metrics import StreamingWorkloadMetrics
+        from repro.serving import (AdmissionPolicy, ArrivalSpec,
+                                   WorkloadDriver, WorkloadSpec)
+        from repro.workloads import pipeline_chain_scenario
+
+        plan, config = pipeline_chain_scenario(
+            nodes=2, processors_per_node=2, base_tuples=600,
+        )
+        spec = WorkloadSpec(
+            queries=8,
+            arrival=ArrivalSpec(kind="poisson", rate=40.0),
+            strategy="DP",
+            policy=AdmissionPolicy(max_multiprogramming=4),
+            seed=11,
+        )
+        params = ExecutionParams(
+            skew=SkewSpec.uniform_redistribution(0.8), seed=11
+        )
+        event = WorkloadDriver(plan, config, spec, params).run().metrics
+        hybrid_params = dataclasses.replace(params, kernel="hybrid")
+        hybrid = WorkloadDriver(plan, config, spec,
+                                hybrid_params).run().metrics
+        assert repr(event.summary()) == repr(hybrid.summary())
+
+        streaming_sink = StreamingWorkloadMetrics()
+        streaming = WorkloadDriver(
+            plan, config, spec, hybrid_params, metrics=streaming_sink,
+        ).run().metrics
+        assert streaming is streaming_sink
+        assert not streaming.completions  # nothing retained
+        expected = dict(event.summary())
+        expected.pop("per_query")
+        assert repr(streaming.summary()) == repr(expected)
+        with pytest.raises(NotImplementedError):
+            streaming.completions_of("default")
