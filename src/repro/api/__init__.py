@@ -28,10 +28,10 @@ Quickstart::
     print(result.summary())
 """
 
-from .facade import RunResult, build_plans, run, run_query
+from .facade import RunResult, build_plan_bank, build_plans, run, run_query
 from .serde import SpecError
-from .spec import (PLAN_KINDS, PlanSpec, ScenarioSpec, TraceSpec, get_path,
-                   replace_path)
+from .spec import (PLAN_KINDS, AutoscalerSpec, ClusterEventSpec, ClusterSpec,
+                   PlanSpec, ScenarioSpec, TraceSpec, get_path, replace_path)
 from .sweep import (
     AXIS_MACROS,
     SweepSpec,
@@ -44,6 +44,9 @@ from .sweep import (
 __all__ = [
     "AXIS_MACROS",
     "PLAN_KINDS",
+    "AutoscalerSpec",
+    "ClusterEventSpec",
+    "ClusterSpec",
     "PlanSpec",
     "RunResult",
     "ScenarioSpec",
@@ -51,6 +54,7 @@ __all__ = [
     "SweepSpec",
     "TraceSpec",
     "apply_axis",
+    "build_plan_bank",
     "build_plans",
     "get_path",
     "replace_path",

@@ -7,6 +7,8 @@ Usage::
     repro-run scenario.json --emit-spec      # normalized spec, round-tripped
     repro-run scenario.json --record run.jsonl.gz   # record the event stream
     repro-run scenario.json --replay run.jsonl.gz   # replay a recorded trace
+    repro-run scenario.json --json out.json  # full RunResult as JSON
+    repro-run scenario.json --json -         # ... to stdout (machine mode)
 
 The scenario file is a serialized :class:`~repro.api.spec.ScenarioSpec`
 (see ``ScenarioSpec.to_json``); unknown keys and invalid values fail
@@ -67,6 +69,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="replay the recorded trace at PATH instead of the "
         "scenario's arrival stream (overrides any 'trace' in the spec)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        dest="json_out",
+        help="write the full RunResult (spec + metrics digest) as JSON "
+        "to OUT ('-' for stdout, suppressing the human summary)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -91,6 +100,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         # time; they deserve the same clean surface as parse errors.
         print(f"repro-run: scenario failed: {exc}", file=sys.stderr)
         return 2
+    if args.json_out == "-":
+        # Machine-readable mode: the JSON document *is* the output.
+        sys.stdout.write(result.to_json())
+        return 0
+    if args.json_out:
+        Path(args.json_out).write_text(result.to_json())
     label = scenario.label or Path(args.scenario).stem
     print(f"scenario {label} [{scenario.mode}]")
     print(result.summary())
@@ -102,6 +117,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"shed {stats['shed']}, "
                 f"p95 {stats['p95_latency']:.4f}s, "
                 f"SLO {stats['slo_attainment']:.0%}"
+            )
+        cluster = result.metrics.cluster_summary()
+        if cluster is not None:
+            print(
+                f"  cluster: +{cluster['node_joins']}/-"
+                f"{cluster['node_leaves']} nodes "
+                f"(peak {cluster['peak_nodes']}, low {cluster['low_nodes']}), "
+                f"{cluster['rebalance_bytes']} B moved for "
+                f"{cluster['load_gained_processors']} processors gained"
             )
     if args.metrics:
         if result.workload is not None:

@@ -25,17 +25,21 @@ population pay for it once per process.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..engine.metrics import ExecutionResult
 from ..serving.driver import WorkloadDriver, WorkloadRunResult
 from ..serving.trace import JsonLinesLogger
 from ..sim.machine import MachineConfig
+from .serde import encode
 from .spec import PlanSpec, ScenarioSpec
 
-__all__ = ["RunResult", "build_plans", "run", "run_query"]
+__all__ = ["RunResult", "build_plan_bank", "build_plans", "run", "run_query"]
 
 
 @lru_cache(maxsize=16)
@@ -44,8 +48,39 @@ def _cached_plans(plans: PlanSpec, cluster: MachineConfig) -> tuple:
 
 
 def build_plans(scenario: ScenarioSpec) -> tuple:
-    """The scenario's compiled plan population (memoized per process)."""
-    return _cached_plans(scenario.plans, scenario.cluster)
+    """The scenario's compiled plan population (memoized per process).
+
+    On an elastic cluster this is the compilation for the *starting*
+    node count — the full per-size bank is :func:`build_plan_bank`.
+    """
+    cluster = scenario.cluster
+    return _cached_plans(
+        scenario.plans, cluster.machines_at(cluster.active_at_start)
+    )
+
+
+def build_plan_bank(scenario: ScenarioSpec) -> dict:
+    """``{nodes: plan population}`` for every reachable cluster size.
+
+    The bank is what lets admission re-resolve a queued query against
+    the live membership: index ``i`` of every entry is the *same* plan
+    template compiled for a different node count, so ``plan_index``
+    stays meaningful across sizes.  All entries must therefore have
+    equal length (a factory whose population depended on the node count
+    would break the correspondence — rejected here, loudly).
+    """
+    cluster = scenario.cluster
+    bank = {
+        size: _cached_plans(scenario.plans, cluster.machines_at(size))
+        for size in cluster.reachable_sizes()
+    }
+    lengths = {size: len(plans) for size, plans in bank.items()}
+    if len(set(lengths.values())) > 1:
+        raise ValueError(
+            f"plan population size varies with cluster size ({lengths}); "
+            "plan_index must address the same template at every size"
+        )
+    return bank
 
 
 @dataclass(frozen=True)
@@ -82,22 +117,59 @@ class RunResult:
             f"{execution.metrics.activations_processed} activations"
         )
 
+    def to_dict(self) -> dict:
+        """The whole result as plain data: spec + measurements.
+
+        The scenario round-trips losslessly
+        (``ScenarioSpec.from_dict(d["scenario"]) == scenario``); the
+        measurement side carries the full deterministic metrics digest
+        (``metrics.summary()`` for serving runs, every
+        ``ExecutionResult`` field for single runs).
+        """
+        data: dict = {"scenario": encode(self.scenario)}
+        if self.workload is not None:
+            w = self.workload
+            data["workload"] = {
+                "config_label": w.config_label,
+                "admitted": w.admitted,
+                "deferrals": w.deferrals,
+                "metrics": w.metrics.summary(),
+            }
+        if self.execution is not None:
+            data["execution"] = dataclasses.asdict(self.execution)
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        """:meth:`to_dict` as JSON text (tuples become arrays)."""
+        return json.dumps(self.to_dict(), indent=indent, default=list) + "\n"
+
 
 def run(scenario: ScenarioSpec, *, plans: Optional[Sequence] = None,
-        record: Optional[str] = None) -> RunResult:
+        record: Optional[Union[str, os.PathLike]] = None) -> RunResult:
     """Execute a scenario and return its :class:`RunResult`.
 
     ``plans`` overrides the scenario's declared population with explicit
     compiled plans (tests and ad-hoc studies with hand-built plans);
-    everything else still comes from the spec.
+    everything else still comes from the spec.  Incompatible with an
+    elastic cluster, whose admission re-resolves plans from a per-size
+    bank the spec's factories build.
 
     ``record`` (serving mode only) writes the run's structured event
-    stream to that path as JSON lines (gzip iff it ends in ``.gz``); the
-    file replays via ``ScenarioSpec.trace = TraceSpec(path=...)`` with
-    byte-identical metrics.  If ``scenario.trace`` is set, the workload
-    spec's arrival/queries knobs are replaced by the trace's recorded
-    schedule.
+    stream to that path — a ``str`` or any ``os.PathLike`` — as JSON
+    lines (gzip iff it ends in ``.gz``); the file replays via
+    ``ScenarioSpec.trace = TraceSpec(path=...)`` with byte-identical
+    metrics.  If ``scenario.trace`` is set, the workload spec's
+    arrival/queries knobs are replaced by the trace's recorded schedule.
     """
+    if record is not None:
+        record = os.fspath(record)  # accept pathlib.Path once, here
+    cluster = scenario.cluster
+    if plans is not None and cluster.elastic:
+        raise ValueError(
+            "explicit plans= cannot drive an elastic cluster; admission "
+            "needs the per-size plan bank built from the scenario's "
+            "PlanSpec"
+        )
     population = tuple(plans) if plans is not None else build_plans(scenario)
     if not population:
         raise ValueError("scenario has an empty plan population")
@@ -114,15 +186,25 @@ def run(scenario: ScenarioSpec, *, plans: Optional[Sequence] = None,
     trace = None
     if scenario.trace is not None:
         trace = scenario.trace.resolve(len(population))
+    plan_bank = None
+    relations = ()
+    if cluster.elastic:
+        from ..cluster.rebalance import resident_relations
+
+        plan_bank = build_plan_bank(scenario)
+        relations = resident_relations(population)
     logger = JsonLinesLogger(record) if record is not None else None
     try:
         driver = WorkloadDriver(
             list(population),
-            scenario.cluster,
+            cluster.machines,
             scenario.workload,
             scenario.params,
             logger=logger,
             trace=trace,
+            cluster=cluster,
+            plan_bank=plan_bank,
+            relations=relations,
         )
         result = driver.run()
     finally:
@@ -152,7 +234,7 @@ def _execute_single(scenario: ScenarioSpec, population: tuple) -> ExecutionResul
 
     return QueryExecutor(
         population[0],
-        scenario.cluster,
+        scenario.cluster.machines,
         strategy=scenario.workload.strategy,
         params=scenario.params,
     ).run()

@@ -69,8 +69,9 @@ def decode(tp: typing.Any, data: typing.Any, path: str = "$") -> typing.Any:
     """Rebuild a value of declared type ``tp`` from plain data.
 
     Raises :class:`SpecError` on unknown keys, arity or scalar-type
-    mismatches; dataclass ``__post_init__`` validation errors propagate
-    unchanged (they already carry a precise message).
+    mismatches; a dataclass ``__post_init__`` validation failure is
+    re-raised as a :class:`SpecError` prefixed with the dotted path of
+    the offending object (including the ``[index]`` of a tuple element).
     """
     origin = typing.get_origin(tp)
     # Both union spellings: typing.Optional[X] and PEP 604's ``X | None``.
@@ -111,8 +112,14 @@ def _decode_dataclass(tp: type, data: typing.Any, path: str) -> typing.Any:
     }
     try:
         return tp(**kwargs)
+    except SpecError:
+        raise
     except TypeError as exc:  # a required field was missing
         raise SpecError(f"{path}: cannot build {tp.__name__}: {exc}") from exc
+    except ValueError as exc:  # __post_init__ validation failed
+        # Carry the dotted path (including any [index] of a tuple
+        # element) so "which entry of the list was bad" is in the error.
+        raise SpecError(f"{path}: invalid {tp.__name__}: {exc}") from exc
 
 
 def _decode_tuple(tp: typing.Any, data: typing.Any, path: str) -> tuple:

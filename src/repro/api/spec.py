@@ -28,6 +28,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..cluster.spec import AutoscalerSpec, ClusterEventSpec, ClusterSpec
 from ..engine.params import ExecutionParams
 from ..serving.driver import WorkloadSpec
 from ..serving.trace import Trace
@@ -37,6 +38,9 @@ from .serde import SpecError, decode, encode, from_json, to_json
 
 __all__ = [
     "PLAN_KINDS",
+    "AutoscalerSpec",
+    "ClusterEventSpec",
+    "ClusterSpec",
     "PlanSpec",
     "ScenarioSpec",
     "TraceSpec",
@@ -217,9 +221,16 @@ class ScenarioSpec:
     stream, admission, multi-query coordination); ``"single"`` executes
     the population's first plan once via the single-query engine with
     ``workload.strategy`` and ``params`` (the paper's Figure regime).
+
+    ``cluster`` is a :class:`~repro.cluster.spec.ClusterSpec` — the
+    physical machine footprint plus (optionally) a membership timeline
+    and an autoscaler.  A bare
+    :class:`~repro.sim.machine.MachineConfig` is accepted and wrapped
+    into a static ``ClusterSpec``, so every pre-elastic construction
+    keeps working unchanged.
     """
 
-    cluster: MachineConfig = field(default_factory=MachineConfig)
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
     params: ExecutionParams = field(default_factory=ExecutionParams)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     plans: PlanSpec = field(default_factory=PlanSpec)
@@ -229,6 +240,11 @@ class ScenarioSpec:
     trace: Optional[TraceSpec] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.cluster, MachineConfig):
+            # Back-compat coercion: a bare machine is a static cluster.
+            object.__setattr__(
+                self, "cluster", ClusterSpec(machines=self.cluster)
+            )
         if self.mode not in ("serving", "single"):
             raise ValueError(
                 f"unknown mode {self.mode!r}; expected 'serving' or 'single'",
@@ -237,6 +253,12 @@ class ScenarioSpec:
             raise ValueError(
                 "trace replay needs mode='serving'; single mode runs one "
                 "query with no arrival stream"
+            )
+        if self.mode == "single" and self.cluster.elastic:
+            raise ValueError(
+                "single mode runs one query on a fixed machine; elastic "
+                "clusters (events/autoscaler/initial_nodes) need "
+                "mode='serving'"
             )
 
     # -- lossless (de)serialization -----------------------------------------

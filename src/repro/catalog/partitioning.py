@@ -24,7 +24,8 @@ from typing import Optional, Sequence
 from .relation import Relation
 from .skew import proportional_split, zipf_weights
 
-__all__ = ["RelationPlacement", "partitioning_degree", "place_relation"]
+__all__ = ["PartitionMove", "RelationPlacement", "partitioning_degree",
+           "place_relation", "rebalance_moves"]
 
 
 def partitioning_degree(relation: Relation, max_nodes: int,
@@ -113,6 +114,82 @@ class RelationPlacement:
         if tuples == 0:
             return 0
         return math.ceil(tuples * self.relation.tuple_size / self.page_size)
+
+
+@dataclass(frozen=True)
+class PartitionMove:
+    """One cross-node shipment of a rebalance: tuples of one relation.
+
+    The unit the elastic-cluster rebalancer prices and ships: ``tuples``
+    of ``relation`` migrate from ``src_node`` to ``dst_node``; ``nbytes``
+    is the payload (``tuples * tuple_size``) that crosses the
+    interconnect.
+    """
+
+    relation: Relation
+    src_node: int
+    dst_node: int
+    tuples: int
+
+    def __post_init__(self) -> None:
+        if self.src_node == self.dst_node:
+            raise ValueError(
+                f"{self.relation.name}: move src and dst are both node "
+                f"{self.src_node}"
+            )
+        if self.tuples < 1:
+            raise ValueError(
+                f"{self.relation.name}: moves ship at least one tuple, "
+                f"got {self.tuples}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return self.tuples * self.relation.tuple_size
+
+
+def rebalance_moves(old: RelationPlacement,
+                    new: RelationPlacement) -> tuple[PartitionMove, ...]:
+    """Minimal tuple movement turning placement ``old`` into ``new``.
+
+    DynaHash's observation made concrete: only the per-node share
+    *deltas* need to cross the network.  Nodes whose share shrank are
+    sources, nodes whose share grew are sinks; pairing them greedily in
+    ascending node order yields at most ``sources + sinks - 1`` moves and
+    ships exactly ``sum(positive deltas)`` tuples — the byte-conservation
+    property the elastic tests pin (bytes shipped == partition bytes
+    moved, never a full re-send of the relation).
+    """
+    if old.relation is not new.relation and old.relation != new.relation:
+        raise ValueError(
+            f"placements describe different relations: {old.relation.name} "
+            f"vs {new.relation.name}"
+        )
+    nodes = sorted(set(old.home) | set(new.home))
+    surplus = []  # (node, tuples to give up), ascending node order
+    deficit = []  # (node, tuples to receive), ascending node order
+    for node in nodes:
+        delta = new.node_share(node) - old.node_share(node)
+        if delta < 0:
+            surplus.append([node, -delta])
+        elif delta > 0:
+            deficit.append([node, delta])
+    moves = []
+    si = di = 0
+    while si < len(surplus) and di < len(deficit):
+        src, give = surplus[si]
+        dst, need = deficit[di]
+        tuples = min(give, need)
+        moves.append(PartitionMove(
+            relation=new.relation, src_node=src, dst_node=dst, tuples=tuples,
+        ))
+        surplus[si][1] -= tuples
+        deficit[di][1] -= tuples
+        if surplus[si][1] == 0:
+            si += 1
+        if deficit[di][1] == 0:
+            di += 1
+    return tuple(moves)
 
 
 def place_relation(relation: Relation, home: Sequence[int], disks_per_node: int,

@@ -1,0 +1,26 @@
+"""Elastic cluster layer: membership as data, online rebalancing.
+
+The node set serving queries is no longer frozen at machine construction
+— a :class:`~repro.cluster.spec.ClusterSpec` describes the physical
+footprint plus a timeline of joins/leaves and an optional autoscaler,
+and the runtime (:class:`~repro.cluster.runtime.ElasticCluster`) changes
+live membership mid-run with explicit, priced partition movement
+(:class:`~repro.cluster.rebalance.Rebalancer`).
+"""
+
+from .membership import ClusterMembership
+from .rebalance import Rebalancer, resident_relations
+from .runtime import ElasticCluster
+from .spec import (CLUSTER_ACTIONS, AutoscalerSpec, ClusterEventSpec,
+                   ClusterSpec)
+
+__all__ = [
+    "CLUSTER_ACTIONS",
+    "AutoscalerSpec",
+    "ClusterEventSpec",
+    "ClusterMembership",
+    "ClusterSpec",
+    "ElasticCluster",
+    "Rebalancer",
+    "resident_relations",
+]

@@ -1,0 +1,106 @@
+"""Live cluster membership: which SM-nodes currently serve queries.
+
+The runtime counterpart of :class:`~repro.cluster.spec.ClusterSpec`: a
+mutable, prefix-shaped view of the active node set that admission, the
+cross-query broker and the steal protocol consult instead of the frozen
+:class:`~repro.sim.machine.MachineConfig`.
+
+Three counts tell the whole story (active ids are always ``range(k)``):
+
+* ``member_count`` — nodes whose data and running queries are live;
+* ``draining_count`` — the highest-id members that are on their way out:
+  they still finish their in-flight work but take no *new* queries, pull
+  no stolen work toward themselves, and their partitions are being
+  shipped off;
+* ``planning_count = member_count - draining_count`` — the node set new
+  queries are planned and admitted against.
+
+``version`` bumps on every transition, so cached derived state (plan
+choices, load snapshots) can detect staleness cheaply.
+"""
+
+from __future__ import annotations
+
+from ..sim.machine import MachineConfig
+
+__all__ = ["ClusterMembership"]
+
+
+class ClusterMembership:
+    """Mutable active-node-set state over a fixed physical machine."""
+
+    def __init__(self, machines: MachineConfig, initial: int):
+        if not 1 <= initial <= machines.nodes:
+            raise ValueError(
+                f"initial membership must be in [1, {machines.nodes}], "
+                f"got {initial}"
+            )
+        self.machines = machines
+        self.member_count = initial
+        self.draining_count = 0
+        self.version = 0
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def planning_count(self) -> int:
+        """Nodes new queries are planned against (members minus draining)."""
+        return self.member_count - self.draining_count
+
+    def planning_nodes(self) -> tuple[int, ...]:
+        return tuple(range(self.planning_count))
+
+    def is_member(self, node_id: int) -> bool:
+        return 0 <= node_id < self.member_count
+
+    def is_draining(self, node_id: int) -> bool:
+        return self.planning_count <= node_id < self.member_count
+
+    # -- transitions ---------------------------------------------------------
+
+    def join(self, count: int = 1) -> tuple[int, ...]:
+        """Activate the next ``count`` node ids; returns the new ids."""
+        if count < 1:
+            raise ValueError(f"join count must be >= 1, got {count}")
+        if self.draining_count:
+            raise RuntimeError("cannot join nodes while a drain is underway")
+        if self.member_count + count > self.machines.nodes:
+            raise ValueError(
+                f"cannot grow to {self.member_count + count} nodes; the "
+                f"machine has {self.machines.nodes}"
+            )
+        joined = tuple(range(self.member_count, self.member_count + count))
+        self.member_count += count
+        self.version += 1
+        return joined
+
+    def begin_drain(self, count: int = 1) -> tuple[int, ...]:
+        """Mark the highest ``count`` members draining; returns their ids.
+
+        Planning shrinks immediately — new queries avoid these nodes —
+        but they stay members until :meth:`complete_drain`.
+        """
+        if count < 1:
+            raise ValueError(f"drain count must be >= 1, got {count}")
+        if self.planning_count - count < 1:
+            raise ValueError(
+                f"cannot drain {count} node(s): only {self.planning_count} "
+                "planned and at least one must remain"
+            )
+        previously_planned = self.planning_count
+        self.draining_count += count
+        self.version += 1
+        return tuple(range(self.planning_count, previously_planned))
+
+    def complete_drain(self, count: int = 1) -> tuple[int, ...]:
+        """Draining nodes finished their work and leave; returns their ids."""
+        if count < 1 or count > self.draining_count:
+            raise ValueError(
+                f"complete_drain({count}) with {self.draining_count} "
+                "node(s) draining"
+            )
+        left = tuple(range(self.member_count - count, self.member_count))
+        self.member_count -= count
+        self.draining_count -= count
+        self.version += 1
+        return left

@@ -297,6 +297,28 @@ class WorkloadMetrics:
     last_completion_time: float = 0.0
     #: times the cross-query broker saw an actionable machine imbalance.
     broker_notifications: int = 0
+    # -- elastic-cluster accounting (all zero on a static cluster, in
+    # -- which case ``summary()`` omits the "cluster" digest entirely so
+    # -- static baselines stay byte-identical) --------------------------
+    #: nodes that joined (scale-out commits) during the run.
+    node_joins: int = 0
+    #: nodes that left (drains completed) during the run.
+    node_leaves: int = 0
+    #: membership transitions that ran a rebalance (possibly zero moves).
+    rebalances: int = 0
+    #: individual cross-node partition shipments.
+    rebalance_moves: int = 0
+    #: partition bytes moved over the interconnect — the explicit
+    #: movement cost, conserved against the placement deltas.
+    rebalance_bytes: int = 0
+    #: virtual seconds spent inside rebalances (serialized transitions).
+    rebalance_seconds: float = 0.0
+    #: highest and lowest planned node counts observed.
+    peak_nodes: int = 0
+    low_nodes: int = 0
+    #: processors added by scale-outs — the "load gained" denominator the
+    #: movement cost is priced against.
+    load_gained_processors: int = 0
 
     def record(self, completion: QueryCompletion) -> None:
         if not self.completions:
@@ -483,11 +505,43 @@ class WorkloadMetrics:
         """Network-link queueing delay summed over all completions."""
         return sum(c.result.metrics.net_wait_time for c in self.completions)
 
+    # -- elastic-cluster digest ---------------------------------------------
+
+    def cluster_summary(self) -> Optional[dict]:
+        """Membership-change digest, or None when the cluster stayed put.
+
+        The movement-vs-gain price is explicit:
+        ``bytes_per_processor_gained`` is the rebalance bytes paid for
+        each processor of capacity the scale-outs added.
+        """
+        if not (self.node_joins or self.node_leaves or self.rebalances):
+            return None
+        gained = self.load_gained_processors
+        return {
+            "node_joins": self.node_joins,
+            "node_leaves": self.node_leaves,
+            "rebalances": self.rebalances,
+            "rebalance_moves": self.rebalance_moves,
+            "rebalance_bytes": self.rebalance_bytes,
+            "rebalance_seconds": self.rebalance_seconds,
+            "peak_nodes": self.peak_nodes,
+            "low_nodes": self.low_nodes,
+            "load_gained_processors": gained,
+            "bytes_per_processor_gained": (
+                self.rebalance_bytes / gained if gained else 0.0
+            ),
+        }
+
     # -- deterministic digest ------------------------------------------------
 
     def summary(self) -> dict:
-        """A plain-data digest; ``repr(summary())`` is byte-stable per seed."""
-        return {
+        """A plain-data digest; ``repr(summary())`` is byte-stable per seed.
+
+        On an elastic run a ``"cluster"`` sub-digest is appended; static
+        runs omit the key entirely, keeping every pre-elastic baseline
+        byte-identical.
+        """
+        digest = {
             "completed": self.completed,
             "unfinished": self.unfinished,
             "shed": [
@@ -518,6 +572,10 @@ class WorkloadMetrics:
                 for c in sorted(self.completions, key=lambda c: c.query_id)
             ],
         }
+        cluster = self.cluster_summary()
+        if cluster is not None:
+            digest["cluster"] = cluster
+        return digest
 
 
 class StreamingWorkloadMetrics(WorkloadMetrics):
@@ -707,7 +765,7 @@ class StreamingWorkloadMetrics(WorkloadMetrics):
 
     def summary(self) -> dict:
         """The parent's digest minus the unbounded ``per_query`` list."""
-        return {
+        digest = {
             "completed": self.completed,
             "unfinished": self.unfinished,
             "shed": [
@@ -731,3 +789,7 @@ class StreamingWorkloadMetrics(WorkloadMetrics):
             "broker_notifications": self.broker_notifications,
             "per_class": self.per_class_summary(),
         }
+        cluster = self.cluster_summary()
+        if cluster is not None:
+            digest["cluster"] = cluster
+        return digest

@@ -164,8 +164,18 @@ class NodeScheduler:
         see backlog growing on remote nodes — which is precisely the
         machine-wide signal the broker is delivering.  The cooldown still
         applies, bounding the protocol traffic either way.
+
+        On an elastic cluster a *draining* node never initiates a round:
+        stealing pulls work onto the thief, and this node is trying to
+        empty out so it can leave.
         """
         context = self.context
+        substrate = context.substrate
+        if substrate is not None:
+            membership = getattr(substrate, "membership", None)
+            if (membership is not None
+                    and membership.is_draining(self.node.node_id)):
+                return
         now = context.env.now
         for scope in scopes:
             if scope in self.rounds:

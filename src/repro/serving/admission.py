@@ -126,7 +126,8 @@ class AdmissionController:
     def can_admit(self, plan: ParallelExecutionPlan,
                   live_queries: Optional[int] = None,
                   service_class=None,
-                  class_running: int = 0) -> bool:
+                  class_running: int = 0,
+                  mpl: Optional[int] = None) -> bool:
         """Whether ``plan`` may start now, given live machine state.
 
         A pure predicate (no statistics side effects), safe to call from
@@ -136,10 +137,14 @@ class AdmissionController:
         ``ExecutionContext`` to register).  ``service_class`` adds the
         class's own gates (its MPL cap against ``class_running``, its
         memory-headroom override); None applies the global gates only.
+        ``mpl`` overrides the policy's multiprogramming cap — on an
+        elastic cluster the coordinator passes the membership-scaled cap.
         """
         substrate = self.substrate
         live = substrate.live_queries if live_queries is None else live_queries
-        if live >= self.policy.max_multiprogramming:
+        if mpl is None:
+            mpl = self.policy.max_multiprogramming
+        if live >= mpl:
             return False
         if live == 0:
             # Progress guarantee: an empty machine always takes the head

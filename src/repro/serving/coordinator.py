@@ -114,6 +114,13 @@ class CrossQueryBroker:
         if not self.enabled:
             return
         substrate = self.substrate
+        membership = substrate.membership
+        if membership is not None and (
+                not membership.is_member(node_id)
+                or membership.is_draining(node_id)):
+            # Never attract work onto a node that is leaving (or gone):
+            # its spare CPU is spare precisely because it is draining.
+            return
         others = [c for c in substrate.contexts
                   if c is not context and not c.done]
         if not others:
@@ -134,6 +141,8 @@ class CrossQueryBroker:
                 local_load=local, peak_load=peak,
             ))
         for other in others:
+            if node_id >= len(other.nodes):
+                continue  # elastic: the query planned on a smaller prefix
             scheduler = other.nodes[node_id].scheduler
             if scheduler is not None:
                 scheduler.on_machine_starving()
@@ -145,7 +154,7 @@ class QueryRequest:
     __slots__ = ("query_id", "plan", "strategy", "params", "service_class",
                  "arrival_time", "seq", "start_time", "done", "completion",
                  "context", "_sp", "deferred", "shed", "shed_at",
-                 "shed_reason")
+                 "shed_reason", "plan_index", "planned_size")
 
     def __init__(self, query_id: int, plan: ParallelExecutionPlan,
                  strategy: str, params: ExecutionParams,
@@ -179,6 +188,12 @@ class QueryRequest:
         #: up on deep queues; see the trace-replay bench).
         self.shed_at: Optional[float] = None
         self.shed_reason = "queue_timeout"
+        #: index into the driver's plan population (None: direct submit).
+        #: On an elastic cluster this is what lets admission re-resolve
+        #: the plan against the membership at *start* time.
+        self.plan_index: Optional[int] = None
+        #: node count the current ``plan`` was compiled for.
+        self.planned_size: int = 0
 
 
 class MultiQueryCoordinator:
@@ -188,7 +203,8 @@ class MultiQueryCoordinator:
                  params: Optional[ExecutionParams] = None,
                  policy: AdmissionPolicy = AdmissionPolicy(),
                  logger: Optional[RunLogger] = None,
-                 metrics: Optional[WorkloadMetrics] = None):
+                 metrics: Optional[WorkloadMetrics] = None,
+                 cluster=None, plan_bank=None, relations=()):
         self.config = config
         self.params = params or ExecutionParams()
         self.substrate = SharedSubstrate(config, self.params)
@@ -227,6 +243,15 @@ class MultiQueryCoordinator:
         # Mid-execution memory releases (probe ends freeing hash tables)
         # re-evaluate admission without waiting for a whole completion.
         self.substrate.on_memory_release = self._poke
+        #: plans per cluster size (``{nodes: (plan, ...)}``) — the plan
+        #: bank admission re-resolves against when membership changes.
+        self.plan_bank = plan_bank
+        #: the elastic-cluster runtime; None on a static cluster, in
+        #: which case *nothing* else in this module changes behaviour.
+        self.elastic = None
+        if cluster is not None and cluster.elastic:
+            from ..cluster.runtime import ElasticCluster  # late (cycle)
+            self.elastic = ElasticCluster(self, cluster, relations)
         self._admission_process = self.env.process(
             self._admission_loop(), name="admission"
         )
@@ -279,6 +304,8 @@ class MultiQueryCoordinator:
             done=self.env.event(f"query-done:{query_id}"),
         )
         self._next_seq += 1
+        request.plan_index = plan_index
+        request.planned_size = self.planning_count
         cls = request.service_class
         request.shed_at = self.admission.shed_deadline(
             request.arrival_time, cls
@@ -306,6 +333,39 @@ class MultiQueryCoordinator:
     def close_arrivals(self) -> None:
         """No more submissions: the run ends when the queues drain."""
         self._arrivals_open = False
+        self._poke()
+
+    # -- elastic membership hooks --------------------------------------------
+
+    @property
+    def planning_count(self) -> int:
+        """Nodes new admissions plan across (the full machine when static)."""
+        if self.elastic is not None:
+            return self.elastic.planning_count
+        return self.config.nodes
+
+    @property
+    def workload_done(self) -> bool:
+        """Arrivals closed with nothing pending or running (autoscaler exit)."""
+        return (not self._arrivals_open and not self.pending
+                and not self.running)
+
+    def mpl_cap(self) -> int:
+        """The effective multiprogramming limit for the current membership.
+
+        On an elastic cluster the policy's MPL describes the *full*
+        footprint; the live cap scales with the planned node share (a
+        half-size cluster admits half the concurrency), never below 1.
+        """
+        mpl = self.admission.policy.max_multiprogramming
+        if self.elastic is None:
+            return mpl
+        planning = self.elastic.planning_count
+        total = self.config.nodes
+        return max(1, -(-mpl * planning // total))  # ceil division
+
+    def on_cluster_changed(self) -> None:
+        """Membership changed: re-evaluate admission against the new set."""
         self._poke()
 
     # -- admission loop ------------------------------------------------------
@@ -359,15 +419,35 @@ class MultiQueryCoordinator:
         )
         for request in order:
             cls = request.service_class
+            self._resolve_plan(request)
             if self.admission.can_admit(
                     request.plan, live_queries=len(self.running),
                     service_class=cls,
-                    class_running=self.running_by_class.get(cls.name, 0)):
+                    class_running=self.running_by_class.get(cls.name, 0),
+                    mpl=self.mpl_cap()):
                 return request
             if not request.deferred:
                 request.deferred = True
                 self.admission.on_deferred(cls)
         return None
+
+    def _resolve_plan(self, request: QueryRequest) -> None:
+        """Re-compile a pending query against the current membership.
+
+        Queries plan over the *planned* node set at admission time, not
+        arrival time: a query that arrived on a 2-node cluster but is
+        admitted after a scale-out to 3 runs the 3-node compilation of
+        the same plan template.  Needs the driver's plan bank; direct
+        submissions (no ``plan_index``) keep their submitted plan.
+        """
+        if self.elastic is None or self.plan_bank is None:
+            return
+        if request.plan_index is None:
+            return
+        size = self.elastic.planning_count
+        if size != request.planned_size:
+            request.plan = self.plan_bank[size][request.plan_index]
+            request.planned_size = size
 
     def _class_heads(self) -> dict[str, QueryRequest]:
         """Head-of-line pending request per service-class name.
@@ -502,8 +582,17 @@ class MultiQueryCoordinator:
                 lambda _event, req=request: self._finish_sp(req)
             )
         else:
+            config = self.config
+            if (self.elastic is not None
+                    and request.planned_size
+                    and request.planned_size != config.nodes):
+                # The execution spans the planned prefix of the physical
+                # footprint, not the whole machine.
+                config = dataclasses.replace(
+                    config, nodes=request.planned_size
+                )
             executor = QueryExecutor(
-                request.plan, self.config, strategy=request.strategy,
+                request.plan, config, strategy=request.strategy,
                 params=request.params,
             )
             context = executor.launch(
@@ -564,6 +653,8 @@ class MultiQueryCoordinator:
         if not request.done.triggered:
             request.done.succeed(completion)
         self._poke()
+        if self.elastic is not None:
+            self.elastic.on_query_finished()
 
     # -- whole-run driver -----------------------------------------------------
 
@@ -587,4 +678,18 @@ class MultiQueryCoordinator:
             )
         self.metrics.unfinished = leftover
         self.metrics.broker_notifications = self.substrate.broker.notifications
+        if self.elastic is not None:
+            elastic = self.elastic
+            rebalancer = elastic.rebalancer
+            self.metrics.node_joins = elastic.joins
+            self.metrics.node_leaves = elastic.leaves
+            self.metrics.rebalances = rebalancer.rebalances
+            self.metrics.rebalance_moves = rebalancer.total_moves
+            self.metrics.rebalance_bytes = rebalancer.total_bytes
+            self.metrics.rebalance_seconds = rebalancer.total_seconds
+            self.metrics.peak_nodes = elastic.peak_nodes
+            self.metrics.low_nodes = elastic.low_nodes
+            self.metrics.load_gained_processors = (
+                elastic.load_gained_processors
+            )
         return self.metrics

@@ -112,7 +112,8 @@ class WorkloadDriver:
                  params: Optional[ExecutionParams] = None,
                  logger: Optional[RunLogger] = None,
                  trace: Optional[Trace] = None,
-                 metrics: Optional[WorkloadMetrics] = None):
+                 metrics: Optional[WorkloadMetrics] = None,
+                 cluster=None, plan_bank=None, relations=()):
         if isinstance(plans, ParallelExecutionPlan):
             plans = [plans]
         if not plans:
@@ -128,6 +129,13 @@ class WorkloadDriver:
         #: optional metrics sink forwarded to the coordinator (e.g. a
         #: StreamingWorkloadMetrics for million-query replays).
         self.metrics = metrics
+        #: elastic wiring (see :mod:`repro.cluster`): the ClusterSpec,
+        #: the per-size plan bank (``{nodes: (plan, ...)}``) and the
+        #: resident relations membership changes must rebalance.  All
+        #: None/empty on a static cluster — zero behaviour change.
+        self.cluster = cluster
+        self.plan_bank = plan_bank
+        self.relations = tuple(relations)
         if trace is not None:
             for q in trace.queries:
                 if not 0 <= q.plan_index < len(self.plans):
@@ -156,6 +164,19 @@ class WorkloadDriver:
 
     def _plan_for(self, index: int) -> ParallelExecutionPlan:
         return self.plans[self._plan_index_for(index)]
+
+    def _plan(self, coordinator: MultiQueryCoordinator,
+              plan_index: int) -> ParallelExecutionPlan:
+        """The plan to submit *now*: sized to the live membership.
+
+        On an elastic cluster the submitted plan is the bank's
+        compilation for the current planned node count (admission may
+        re-resolve it again if membership changes while it queues); on a
+        static cluster it is simply ``plans[plan_index]``.
+        """
+        if self.plan_bank is not None and coordinator.elastic is not None:
+            return self.plan_bank[coordinator.planning_count][plan_index]
+        return self.plans[plan_index]
 
     def _params_for(self, index: int) -> ExecutionParams:
         """Per-query engine params: an independent seed per query, so two
@@ -201,7 +222,8 @@ class WorkloadDriver:
                 yield env.timeout_at(when)
             plan_index = self._plan_index_for(index)
             coordinator.submit(
-                self.plans[plan_index], strategy=self.spec.strategy,
+                self._plan(coordinator, plan_index),
+                strategy=self.spec.strategy,
                 params=self._params_for(index), query_id=index,
                 service_class=self._class_for(index),
                 plan_index=plan_index,
@@ -218,7 +240,8 @@ class WorkloadDriver:
             counter[0] += 1
             plan_index = self._plan_index_for(index)
             request = coordinator.submit(
-                self.plans[plan_index], strategy=self.spec.strategy,
+                self._plan(coordinator, plan_index),
+                strategy=self.spec.strategy,
                 params=self._params_for(index), query_id=index,
                 service_class=self._class_for(index),
                 plan_index=plan_index,
@@ -253,7 +276,7 @@ class WorkloadDriver:
                 else:
                     yield env.timeout_at(q.arrival_time)
             coordinator.submit(
-                self.plans[q.plan_index], strategy=q.strategy,
+                self._plan(coordinator, q.plan_index), strategy=q.strategy,
                 params=replace(self.params, seed=q.params_seed),
                 query_id=q.query_id, service_class=q.service_class,
                 plan_index=q.plan_index,
@@ -278,6 +301,8 @@ class WorkloadDriver:
         coordinator = MultiQueryCoordinator(
             self.config, params=self.params, policy=self.spec.policy,
             logger=self.logger, metrics=self.metrics,
+            cluster=self.cluster, plan_bank=self.plan_bank,
+            relations=self.relations,
         )
         env = coordinator.env
         if self.logger.enabled:

@@ -105,15 +105,27 @@ class SharedSubstrate:
         #: substrates run it; gated by ``params.cross_query_steal``).
         from .coordinator import CrossQueryBroker  # late import (cycle)
         self.broker = CrossQueryBroker(self)
+        #: live cluster membership, installed by an
+        #: :class:`~repro.cluster.runtime.ElasticCluster` when the run is
+        #: elastic; None on a static cluster (every node is a member).
+        self.membership = None
 
     # -- context registry ---------------------------------------------------
 
     def register_context(self, context) -> None:
         """A query execution was admitted onto this machine."""
-        if context.config.nodes != self.config.nodes:
+        if self.membership is None:
+            if context.config.nodes != self.config.nodes:
+                raise ValueError(
+                    f"context expects {context.config.nodes} nodes but the "
+                    f"substrate has {self.config.nodes}"
+                )
+        elif context.config.nodes > self.config.nodes:
+            # Elastic: contexts span the active prefix of the physical
+            # footprint, so any size up to the footprint is valid.
             raise ValueError(
                 f"context expects {context.config.nodes} nodes but the "
-                f"substrate has {self.config.nodes}"
+                f"cluster's physical footprint is {self.config.nodes}"
             )
         if context.config.processors_per_node != self.config.processors_per_node:
             raise ValueError(
@@ -165,10 +177,16 @@ class SharedSubstrate:
     # -- cross-query signals ------------------------------------------------
 
     def node_load(self, node_id: int) -> int:
-        """Queued activations on ``node_id`` summed over all live queries."""
+        """Queued activations on ``node_id`` summed over all live queries.
+
+        Elastic runs admit contexts of different sizes; a query that
+        planned on a smaller prefix simply contributes no load on the
+        nodes it does not span.
+        """
         return sum(
             context.nodes[node_id].total_queued_activations()
             for context in self.contexts
+            if node_id < len(context.nodes)
         )
 
     def free_memory(self, node_id: int) -> int:
@@ -176,8 +194,16 @@ class SharedSubstrate:
         return self.machine.node(node_id).available
 
     def min_free_memory(self) -> int:
-        """The tightest node's free memory — the admission bottleneck."""
-        return min(node.available for node in self.machine.nodes)
+        """The tightest node's free memory — the admission bottleneck.
+
+        On an elastic cluster only the current members count: a node
+        that has not joined yet (or already left) cannot bottleneck
+        admission.
+        """
+        nodes = self.machine.nodes
+        if self.membership is not None:
+            nodes = nodes[:self.membership.member_count]
+        return min(node.available for node in nodes)
 
     def cpu_pressure(self) -> int:
         """Threads currently queued for a processor, machine-wide."""

@@ -37,7 +37,8 @@ from .classes import ServiceClass
 __all__ = [
     "RunStarted", "QuerySubmitted", "QueryAdmitted", "QueryStarted",
     "QueryFinished", "QueryShedEvent", "StealRound", "StealTransfer",
-    "BrokerImbalance", "encode_event", "decode_event",
+    "BrokerImbalance", "NodeJoined", "NodeDraining", "NodeLeft",
+    "RebalanceCompleted", "encode_event", "decode_event",
     "RunLogger", "NoopLogger", "NOOP_LOGGER", "MemoryLogger",
     "JsonLinesLogger", "read_events", "TraceQuery", "Trace",
 ]
@@ -152,11 +153,63 @@ class BrokerImbalance:
     peak_load: int
 
 
+@dataclass(frozen=True)
+class NodeJoined:
+    """A node finished joining: its partitions arrived, admission sees it."""
+
+    kind = "node_joined"
+    time: float
+    node_id: int
+    #: planned active nodes after the join committed.
+    active_nodes: int
+
+
+@dataclass(frozen=True)
+class NodeDraining:
+    """A node started draining: planned out, finishing in-flight work."""
+
+    kind = "node_draining"
+    time: float
+    node_id: int
+    #: planned active nodes once this node is excluded.
+    active_nodes: int
+
+
+@dataclass(frozen=True)
+class NodeLeft:
+    """A drained node left: no in-flight query spans it any more."""
+
+    kind = "node_left"
+    time: float
+    node_id: int
+    active_nodes: int
+
+
+@dataclass(frozen=True)
+class RebalanceCompleted:
+    """Partition movement for one membership change finished.
+
+    ``bytes_moved`` is the explicit movement cost (every byte crossed the
+    shared interconnect under the rebalance charge tag); ``reason`` names
+    the driver ("timeline" or "autoscaler").
+    """
+
+    kind = "rebalance"
+    time: float
+    from_nodes: int
+    to_nodes: int
+    moves: int
+    bytes_moved: int
+    duration: float
+    reason: str
+
+
 EVENT_TYPES = {
     cls.kind: cls
     for cls in (RunStarted, QuerySubmitted, QueryAdmitted, QueryStarted,
                 QueryFinished, QueryShedEvent, StealRound, StealTransfer,
-                BrokerImbalance)
+                BrokerImbalance, NodeJoined, NodeDraining, NodeLeft,
+                RebalanceCompleted)
 }
 
 

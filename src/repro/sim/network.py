@@ -43,7 +43,16 @@ from typing import Any, Callable, Optional
 from .core import (ChargeTag, DEFAULT_TAG, Environment, Resource,
                    SchedulingDiscipline)
 
-__all__ = ["NetworkParams", "Message", "Network", "NetworkLink"]
+__all__ = ["NetworkParams", "Message", "Network", "NetworkLink",
+           "REBALANCE_TAG"]
+
+#: the charge tag of elastic-cluster rebalance shipments.  Partition
+#: migration is background traffic: on a finite-bandwidth link it runs
+#: at half a query's fair share and below default priority, so moving
+#: data onto a joining node never starves the queries the node is being
+#: added *for*.  Under FIFO (the paper's default) the tag is inert, like
+#: every other tag.
+REBALANCE_TAG = ChargeTag(key="rebalance", weight=0.5, priority=-1)
 
 
 @dataclass(frozen=True)

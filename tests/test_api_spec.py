@@ -19,6 +19,7 @@ import pytest
 
 import repro
 from repro.api import (
+    ClusterSpec,
     PlanSpec,
     RunResult,
     ScenarioSpec,
@@ -328,8 +329,17 @@ class TestDefaultParamsStayDefault:
         # A default ScenarioSpec must not drift from the engine's own
         # defaults — otherwise "empty scenario" silently means something.
         assert ScenarioSpec().params == ExecutionParams()
-        assert ScenarioSpec().cluster == MachineConfig()
+        assert ScenarioSpec().cluster == ClusterSpec()
+        assert ScenarioSpec().cluster.machines == MachineConfig()
         assert ScenarioSpec().workload == WorkloadSpec()
+
+    def test_bare_machine_config_coerces_to_static_cluster(self):
+        # Back-compat: cluster=MachineConfig(...) wraps into ClusterSpec.
+        spec = ScenarioSpec(cluster=MachineConfig(nodes=2,
+                                                  processors_per_node=2))
+        assert isinstance(spec.cluster, ClusterSpec)
+        assert spec.cluster.static
+        assert spec.cluster.machines.nodes == 2
 
     def test_encode_rejects_exotic_values(self):
         from repro.api.serde import encode

@@ -119,7 +119,7 @@ class TestWorkloadSweepEquivalence:
             from repro.api import build_plans
 
             legacy = WorkloadDriver(
-                list(build_plans(scenario)), scenario.cluster,
+                list(build_plans(scenario)), scenario.cluster.machines,
                 scenario.workload, scenario.params,
             ).run().metrics
             assert cell.throughput == legacy.throughput()
@@ -179,7 +179,7 @@ class TestRegistry:
         assert EXPERIMENTS is REGISTRY
         assert set(EXPERIMENTS) == {
             "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
-            "workload", "classes", "traces",
+            "workload", "classes", "traces", "elastic",
         }
 
     def test_presentation_order_params_first(self):
@@ -259,7 +259,8 @@ class TestScenarioCli:
         # two_node plan on a 4-node cluster must not dump a traceback.
         bad = tmp_path / "clash.json"
         bad.write_text(
-            '{"cluster": {"nodes": 4}, "plans": {"kind": "two_node"}}'
+            '{"cluster": {"machines": {"nodes": 4}}, '
+            '"plans": {"kind": "two_node"}}'
         )
         assert cli_main([str(bad)]) == 2
         assert "2-node cluster" in capsys.readouterr().err

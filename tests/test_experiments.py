@@ -185,7 +185,7 @@ class TestRunner:
     def test_registry_covers_all_paper_artifacts(self):
         assert set(EXPERIMENTS) == {
             "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
-            "workload", "classes", "traces",
+            "workload", "classes", "traces", "elastic",
         }
 
     def test_params_experiment_is_static(self, tmp_path):
