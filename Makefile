@@ -21,9 +21,13 @@
 #   make bench-trace-replay  100k-query trace replay, both kernels (writes
 #                         BENCH_trace_replay.json; TRACE_REPLAY_QUERIES
 #                         overrides the trace length — nightly runs 1M)
-#   make bench-regression regenerate the kernel/macro/replay benches and
-#                         fail on a >25% events/s drop vs the committed
-#                         BENCH_*.json baselines
+#   make bench-overload   overload goodput sweep, both kernels, including
+#                         the graceful-degradation acceptance gate (writes
+#                         BENCH_overload.json; OVERLOAD_QUERIES overrides
+#                         the per-cell query count)
+#   make bench-regression regenerate the kernel/macro/replay/overload
+#                         benches and fail on a >25% events/s drop vs the
+#                         committed BENCH_*.json baselines
 #   make experiments      regenerate EXPERIMENTS.md (quick settings)
 
 PYTHON ?= python
@@ -31,7 +35,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: check check-slow check-full lint determinism determinism-hybrid \
 	trace-roundtrip bench-smoke bench-kernel bench-macro \
-	bench-trace-replay bench-regression experiments
+	bench-trace-replay bench-overload bench-regression experiments
 
 check:
 	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q
@@ -66,6 +70,9 @@ bench-macro:
 bench-trace-replay:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q -s bench_trace_replay.py
 
+bench-overload:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q -s bench_overload.py
+
 # The baselines are the *committed* BENCH_*.json files (git show), not
 # the working-tree copies: the bench targets regenerate the working-tree
 # files, so copying those would compare two back-to-back runs and catch
@@ -75,13 +82,16 @@ bench-regression:
 	git show HEAD:benchmarks/BENCH_kernel.json > /tmp/BENCH_kernel.baseline.json
 	git show HEAD:benchmarks/BENCH_macro_charge.json > /tmp/BENCH_macro_charge.baseline.json
 	git show HEAD:benchmarks/BENCH_trace_replay.json > /tmp/BENCH_trace_replay.baseline.json 2>/dev/null || true
+	git show HEAD:benchmarks/BENCH_overload.json > /tmp/BENCH_overload.baseline.json 2>/dev/null || true
 	$(MAKE) bench-kernel
 	$(MAKE) bench-macro
 	$(MAKE) bench-trace-replay
+	$(MAKE) bench-overload
 	$(PYTHON) scripts/check_bench_regression.py \
 		--pair /tmp/BENCH_kernel.baseline.json benchmarks/BENCH_kernel.json \
 		--pair /tmp/BENCH_macro_charge.baseline.json benchmarks/BENCH_macro_charge.json \
-		--pair /tmp/BENCH_trace_replay.baseline.json benchmarks/BENCH_trace_replay.json
+		--pair /tmp/BENCH_trace_replay.baseline.json benchmarks/BENCH_trace_replay.json \
+		--pair /tmp/BENCH_overload.baseline.json benchmarks/BENCH_overload.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --quick

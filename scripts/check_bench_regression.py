@@ -44,6 +44,7 @@ REQUIRED = {
         "sec512.mpl8_tuple", "sec512.mpl8_batched",
     ),
     "BENCH_trace_replay.json": ("replay_event", "replay_hybrid"),
+    "BENCH_overload.json": ("overload_event", "overload_hybrid"),
 }
 
 

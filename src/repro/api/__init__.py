@@ -31,7 +31,8 @@ Quickstart::
 from .facade import RunResult, build_plan_bank, build_plans, run, run_query
 from .serde import SpecError
 from .spec import (PLAN_KINDS, AutoscalerSpec, ClusterEventSpec, ClusterSpec,
-                   PlanSpec, ScenarioSpec, TraceSpec, get_path, replace_path)
+                   PlanSpec, RetryPolicySpec, ScenarioSpec, TraceSpec,
+                   get_path, replace_path)
 from .sweep import (
     AXIS_MACROS,
     SweepSpec,
@@ -48,6 +49,7 @@ __all__ = [
     "ClusterEventSpec",
     "ClusterSpec",
     "PlanSpec",
+    "RetryPolicySpec",
     "RunResult",
     "ScenarioSpec",
     "SpecError",

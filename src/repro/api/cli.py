@@ -118,6 +118,17 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"p95 {stats['p95_latency']:.4f}s, "
                 f"SLO {stats['slo_attainment']:.0%}"
             )
+        clients = result.workload.clients
+        if clients.retries or clients.gave_up:
+            reasons = result.metrics.shed_reason_counts()
+            reason_text = ", ".join(
+                f"{name} {count}" for name, count in sorted(reasons.items())
+            )
+            print(
+                f"  clients: served {clients.served}, "
+                f"gave up {clients.gave_up}, retries {clients.retries} "
+                f"(shed: {reason_text})"
+            )
         cluster = result.metrics.cluster_summary()
         if cluster is not None:
             print(

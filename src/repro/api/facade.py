@@ -133,6 +133,7 @@ class RunResult:
                 "config_label": w.config_label,
                 "admitted": w.admitted,
                 "deferrals": w.deferrals,
+                "clients": dataclasses.asdict(w.clients),
                 "metrics": w.metrics.summary(),
             }
         if self.execution is not None:

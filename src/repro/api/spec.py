@@ -30,7 +30,7 @@ from typing import Optional
 
 from ..cluster.spec import AutoscalerSpec, ClusterEventSpec, ClusterSpec
 from ..engine.params import ExecutionParams
-from ..serving.driver import WorkloadSpec
+from ..serving.driver import RetryPolicySpec, WorkloadSpec
 from ..serving.trace import Trace
 from ..sim.machine import MachineConfig
 from ..workloads.tracegen import TraceGenSpec
@@ -42,6 +42,7 @@ __all__ = [
     "ClusterEventSpec",
     "ClusterSpec",
     "PlanSpec",
+    "RetryPolicySpec",
     "ScenarioSpec",
     "TraceSpec",
     "get_path",

@@ -429,10 +429,11 @@ class ExecutionContext:
     def is_op_selectable(self, node: NodeState, runtime: OperatorRuntime) -> bool:
         """Whether a thread on ``node`` may consume this operator now.
 
-        Unblocked, not terminated, has queued work, and its output channel
-        on this node is not stalled (flow control).
+        Unblocked, not terminated, not suspended (memory preemption), has
+        queued work, and its output channel on this node is not stalled
+        (flow control).
         """
-        if runtime.terminated or runtime.blocked:
+        if runtime.terminated or runtime.blocked or runtime.suspended:
             return False
         queue_set = node.queue_sets.get(runtime.op_id)
         if queue_set is None or not queue_set.has_work:

@@ -101,6 +101,13 @@ class ExecutionMetrics:
     #: was exhausted mid-build (shared-substrate overcommit tolerance;
     #: always 0 in single-query mode, which raises instead).
     memory_overcommit_bytes: int = 0
+    #: times this query's hash builds were suspended by the serving
+    #: layer's preemptive memory management (always 0 in single-query
+    #: mode: there is nobody to preempt for).
+    memory_preemptions: int = 0
+    #: hash-table bytes spilled (and later reloaded) by those
+    #: preemptions, priced like steal page transfers.
+    spill_bytes: int = 0
 
     # --- per-operator termination times (op_id -> virtual seconds) -----------------------
     op_end_times: dict[int, float] = field(default_factory=dict)
@@ -230,9 +237,18 @@ class QueryCompletion:
 class ShedRecord:
     """One query rejected by overload handling before it ever started.
 
-    ``reason`` is ``"queue_timeout"`` (waited longer than its class's
-    admission queue timeout) or ``"deadline"`` (its latency SLO expired
-    while it was still queued, so completing it could no longer help).
+    ``reason`` is one of:
+
+    * ``"queue_timeout"`` — waited longer than its class's admission
+      queue timeout;
+    * ``"deadline"`` — its latency SLO expired while it was still
+      queued, so completing it could no longer help;
+    * ``"retries_exhausted"`` — the *final* attempt of a retrying
+      client was shed: the client gives up instead of backing off again
+      (see :class:`~repro.serving.driver.RetryPolicySpec`);
+    * ``"memory_preempted"`` — its memory reservation could not be met
+      even after preemptive spilling of victim queries, so admission
+      dropped it rather than let it wait out its deadline.
     """
 
     query_id: int
@@ -271,7 +287,7 @@ class QueryShed:
 
     @property
     def reason(self) -> str:
-        """``"queue_timeout"`` or ``"deadline"`` (see :class:`ShedRecord`)."""
+        """The shed reason taxonomy (see :class:`ShedRecord`)."""
         return self.record.reason
 
 
@@ -297,6 +313,15 @@ class WorkloadMetrics:
     last_completion_time: float = 0.0
     #: times the cross-query broker saw an actionable machine imbalance.
     broker_notifications: int = 0
+    #: running queries whose hash builds were suspended (spilled) so a
+    #: higher-priority admission's memory reservation could be met.
+    memory_preemptions: int = 0
+    #: hash-table bytes spilled by those preemptions (reload doubles the
+    #: traffic; this counts the spill direction only).
+    spill_bytes: int = 0
+    #: shed queries that re-entered the arrival stream after backoff
+    #: (total resubmissions across all retrying clients).
+    retries: int = 0
     # -- elastic-cluster accounting (all zero on a static cluster, in
     # -- which case ``summary()`` omits the "cluster" digest entirely so
     # -- static baselines stay byte-identical) --------------------------
@@ -389,6 +414,21 @@ class WorkloadMetrics:
     def shed_count(self) -> int:
         return len(self.shed)
 
+    def shed_reason_counts(self, service_class: Optional[str] = None) -> dict:
+        """reason -> shed count (sorted by reason; optionally per class).
+
+        The taxonomy view of :class:`ShedRecord.reason` — works
+        identically on :class:`StreamingWorkloadMetrics`, which retains
+        the full shed list.
+        """
+        counts: dict[str, int] = {}
+        for record in self.shed:
+            if (service_class is not None
+                    and record.service_class != service_class):
+                continue
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return dict(sorted(counts.items()))
+
     # -- per-service-class views -----------------------------------------------
     #
     # All per-class views key by the class *name* string carried on each
@@ -469,6 +509,7 @@ class WorkloadMetrics:
             name: {
                 "completed": len(self.completions_of(name)),
                 "shed": len(self.shed_of(name)),
+                "shed_reasons": self.shed_reason_counts(name),
                 "throughput": self.class_throughput(name),
                 "p50_latency": self.class_latency_percentile(name, 50.0),
                 "p95_latency": self.class_latency_percentile(name, 95.0),
@@ -549,6 +590,7 @@ class WorkloadMetrics:
                  s.reason)
                 for s in sorted(self.shed, key=lambda s: s.query_id)
             ],
+            "shed_reasons": self.shed_reason_counts(),
             "makespan": self.makespan,
             "throughput": self.throughput(),
             "p50_latency": self.p50_latency,
@@ -563,6 +605,9 @@ class WorkloadMetrics:
             "total_net_wait": self.total_net_wait(),
             "cross_steal_rounds": self.total_cross_steal_rounds(),
             "broker_notifications": self.broker_notifications,
+            "memory_preemptions": self.memory_preemptions,
+            "spill_bytes": self.spill_bytes,
+            "retries": self.retries,
             "per_class": self.per_class_summary(),
             "per_query": [
                 (c.query_id, c.plan_label, c.service_class, c.arrival_time,
@@ -751,6 +796,7 @@ class StreamingWorkloadMetrics(WorkloadMetrics):
                 "completed": (self._per_class[name][0]
                               if name in self._per_class else 0),
                 "shed": len(self.shed_of(name)),
+                "shed_reasons": self.shed_reason_counts(name),
                 "throughput": self.class_throughput(name),
                 "p50_latency": self.class_latency_percentile(name, 50.0),
                 "p95_latency": self.class_latency_percentile(name, 95.0),
@@ -773,6 +819,7 @@ class StreamingWorkloadMetrics(WorkloadMetrics):
                  s.reason)
                 for s in sorted(self.shed, key=lambda s: s.query_id)
             ],
+            "shed_reasons": self.shed_reason_counts(),
             "makespan": self.makespan,
             "throughput": self.throughput(),
             "p50_latency": self.p50_latency,
@@ -787,6 +834,9 @@ class StreamingWorkloadMetrics(WorkloadMetrics):
             "total_net_wait": self.total_net_wait(),
             "cross_steal_rounds": self.total_cross_steal_rounds(),
             "broker_notifications": self.broker_notifications,
+            "memory_preemptions": self.memory_preemptions,
+            "spill_bytes": self.spill_bytes,
+            "retries": self.retries,
             "per_class": self.per_class_summary(),
         }
         cluster = self.cluster_summary()

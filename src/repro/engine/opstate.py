@@ -44,6 +44,11 @@ class OperatorRuntime:
         self.outstanding = 0
         #: end-detection protocol in progress (avoid double rounds).
         self.ending = False
+        #: memory preemption (serving layer): a suspended operator's
+        #: queued activations cannot be consumed and it cannot end —
+        #: its hash tables are spilled until the preemptor releases the
+        #: memory and the resume path reloads them.
+        self.suspended = False
         # --- statistics ----------------------------------------------------
         self.tuples_in = 0
         self.tuples_out = 0
@@ -79,6 +84,7 @@ class OperatorRuntime:
         return (
             not self.terminated
             and not self.ending
+            and not self.suspended
             and self.producers_done
             and self.outstanding == 0
         )

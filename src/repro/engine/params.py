@@ -100,6 +100,15 @@ class ExecutionParams:
     #: the broker only intervenes when the most loaded node queues more
     #: than ``cross_steal_imbalance`` times the starving node's load.
     cross_steal_imbalance: float = 2.0
+    #: which co-resident queries the broker triggers on an imbalance:
+    #:
+    #: * ``"all"`` (default): every live co-resident query runs its
+    #:   steal protocol from the starving node — the original shotgun;
+    #: * ``"best"``: a benefit/overhead estimate (queued backlog on the
+    #:   hot nodes vs hash-table bytes a steal would ship) ranks the
+    #:   candidates and only the single best query moves, keeping the
+    #:   intervention's network cost proportional to its benefit.
+    cross_steal_policy: str = "all"
 
     # --- charge granularity (macro-charges) ---------------------------------
     #: how execution threads turn CPU work into kernel charges:
@@ -226,6 +235,11 @@ class ExecutionParams:
             raise ValueError(
                 f"cross_steal_imbalance must be >= 1, got "
                 f"{self.cross_steal_imbalance}"
+            )
+        if self.cross_steal_policy not in ("all", "best"):
+            raise ValueError(
+                f"unknown cross_steal_policy {self.cross_steal_policy!r}; "
+                "known: ['all', 'best']"
             )
 
     def buckets_for_home(self, home_processors: int) -> int:

@@ -257,8 +257,9 @@ class NodeScheduler:
             # local disks, builds would build the hash table remotely).
             if runtime.kind is not OpKind.PROBE:
                 continue
-            # Condition (v): no gain in moving blocked work.
-            if runtime.terminated or runtime.blocked:
+            # Condition (v): no gain in moving blocked (or memory-
+            # preempted) work.
+            if runtime.terminated or runtime.blocked or runtime.suspended:
                 continue
             if scope is not None and op_id != scope:
                 continue

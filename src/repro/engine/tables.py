@@ -137,6 +137,57 @@ class HashTableStore:
             return self._built[key]
         return self._copies.get(key)
 
+    # -- memory preemption (serving layer) ---------------------------------------
+
+    def spillable_bytes(self, join_id: int) -> int:
+        """Reserved bytes a spill of ``join_id`` would release."""
+        return sum(
+            table.nbytes - table.unreserved
+            for store in (self._built, self._copies)
+            for key, table in store.items()
+            if key[0] == join_id
+        )
+
+    def spill_join(self, join_id: int) -> int:
+        """Release the join's reserved bytes to the node (tables kept).
+
+        The accounted table contents survive — only the node reservation
+        is returned, with the bytes re-tagged ``unreserved`` (the same
+        overcommit bookkeeping a racing build falls back to).  Returns
+        the bytes released.
+        """
+        released = 0
+        for store in (self._built, self._copies):
+            for key, table in store.items():
+                if key[0] != join_id:
+                    continue
+                reserved = table.nbytes - table.unreserved
+                if reserved:
+                    table.unreserved = table.nbytes
+                    released += reserved
+        if released:
+            self.node.release(released)
+        return released
+
+    def unspill_join(self, join_id: int) -> int:
+        """Best-effort re-reservation of a spilled join's bytes.
+
+        Mirrors the non-strict :meth:`insert` fallback: reserve what
+        fits, carry the remainder unreserved.  Returns the bytes
+        re-reserved.
+        """
+        regained = 0
+        for store in (self._built, self._copies):
+            for key, table in store.items():
+                if key[0] != join_id or not table.unreserved:
+                    continue
+                fit = min(table.unreserved, max(0, self.node.available))
+                if fit:
+                    self.node.reserve(fit)
+                    table.unreserved -= fit
+                    regained += fit
+        return regained
+
     # -- lifecycle ---------------------------------------------------------------
 
     def release_join(self, join_id: int) -> int:

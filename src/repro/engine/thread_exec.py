@@ -194,7 +194,7 @@ class ExecutionThread:
             if assigned is not None and op_id not in assigned:
                 continue
             runtime = ops[op_id]
-            if runtime.terminated or runtime.blocked:
+            if runtime.terminated or runtime.blocked or runtime.suspended:
                 continue
             channel = channels.get((node_id, op_id))
             if channel is not None and channel.stalled:
@@ -211,7 +211,7 @@ class ExecutionThread:
             if assigned is not None and op_id not in assigned:
                 continue
             runtime = ops[op_id]
-            if runtime.terminated or runtime.blocked:
+            if runtime.terminated or runtime.blocked or runtime.suspended:
                 continue
             channel = channels.get((node_id, op_id))
             if channel is not None and channel.stalled:

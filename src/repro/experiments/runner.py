@@ -32,7 +32,7 @@ from typing import Optional
 # itself, ahead of these).
 from . import (figure6, figure7, figure8, figure9, figure10, section53,  # noqa: F401
                workload_sweep, service_class_sweep, trace_replay,  # noqa: F401
-               elastic)  # noqa: F401
+               elastic, overload)  # noqa: F401
 from .config import ExperimentOptions
 from .registry import REGISTRY as EXPERIMENTS
 

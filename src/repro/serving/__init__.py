@@ -66,7 +66,8 @@ from .admission import AdmissionController, AdmissionPolicy, estimated_node_dema
 from .arrivals import ArrivalSpec, sample_arrival_times
 from .classes import BATCH, DEFAULT_CLASS, INTERACTIVE, ServiceClass
 from .coordinator import CrossQueryBroker, MultiQueryCoordinator, QueryRequest
-from .driver import WorkloadDriver, WorkloadRunResult, WorkloadSpec
+from .driver import (ClientStats, RetryPolicySpec, WorkloadDriver,
+                     WorkloadRunResult, WorkloadSpec)
 from .substrate import SharedSubstrate
 from .trace import (NOOP_LOGGER, JsonLinesLogger, MemoryLogger, NoopLogger,
                     RunLogger, Trace, TraceQuery, read_events)
@@ -81,11 +82,13 @@ __all__ = [
     "DEFAULT_CLASS",
     "INTERACTIVE",
     "ServiceClass",
+    "ClientStats",
     "CrossQueryBroker",
     "MultiQueryCoordinator",
     "QueryCompletion",
     "QueryRequest",
     "QueryShed",
+    "RetryPolicySpec",
     "WorkloadDriver",
     "WorkloadRunResult",
     "WorkloadSpec",

@@ -83,12 +83,23 @@ class AdmissionPolicy:
     ``deadline_shedding`` additionally sheds a queued query the moment
     its class's latency SLO can no longer be met.  Both default off, so a
     policy-less workload behaves exactly as before: it queues.
+
+    Preemptive memory management: with ``memory_preemption`` on, a head
+    query blocked on the memory gate alone may *suspend* a running
+    lower-priority query's hash build — its reserved bytes spill back to
+    the node pools (timed like a steal page transfer) and reload when the
+    preemptor resolves — instead of waiting for batch work to drain on
+    its own.  ``preemption_shed`` additionally sheds the blocked query
+    with reason ``"memory_preempted"`` when no eligible victim exists
+    (fail fast rather than rot past the SLO).  Both default off.
     """
 
     max_multiprogramming: int = 8
     memory_headroom: float = 0.8
     queue_timeout: Optional[float] = None
     deadline_shedding: bool = False
+    memory_preemption: bool = False
+    preemption_shed: bool = False
 
     def __post_init__(self) -> None:
         if self.max_multiprogramming < 1:
@@ -140,29 +151,67 @@ class AdmissionController:
         ``mpl`` overrides the policy's multiprogramming cap — on an
         elastic cluster the coordinator passes the membership-scaled cap.
         """
+        return self.blocking_gate(
+            plan, live_queries=live_queries, service_class=service_class,
+            class_running=class_running, mpl=mpl,
+        ) is None
+
+    def blocking_gate(self, plan: ParallelExecutionPlan,
+                      live_queries: Optional[int] = None,
+                      service_class=None,
+                      class_running: int = 0,
+                      mpl: Optional[int] = None) -> Optional[str]:
+        """The first gate blocking ``plan``, or None if it may start.
+
+        Same contract as :meth:`can_admit`, but names the blocker —
+        ``"mpl"``, ``"class_mpl"`` or ``"memory"`` — so the coordinator
+        can intervene differently per gate (only a memory-blocked query
+        is a preemption candidate; an MPL-blocked one just waits).
+        """
         substrate = self.substrate
         live = substrate.live_queries if live_queries is None else live_queries
         if mpl is None:
             mpl = self.policy.max_multiprogramming
         if live >= mpl:
-            return False
+            return "mpl"
         if live == 0:
             # Progress guarantee: an empty machine always takes the head
             # query, even one whose estimate can never fit.
-            return True
+            return None
         headroom = self.policy.memory_headroom
         if service_class is not None:
             cap = service_class.max_multiprogramming
             if cap is not None and class_running >= cap:
-                return False
+                return "class_mpl"
             if service_class.memory_headroom is not None:
                 headroom = service_class.memory_headroom
         demand = estimated_node_demand(plan)
         for node_id, nbytes in demand.items():
             free = substrate.free_memory(node_id)
             if nbytes > free * headroom:
-                return False
-        return True
+                return "memory"
+        return None
+
+    def memory_shortfall(self, plan: ParallelExecutionPlan,
+                         service_class=None) -> Dict[int, int]:
+        """node id -> bytes by which the plan's demand overshoots the gate.
+
+        The same arithmetic as the memory gate, reported per node — the
+        coordinator's victim selector ranks suspension candidates by
+        their spillable bytes *on these nodes* (freeing memory elsewhere
+        would not unblock the query).  Empty when the gate passes.
+        """
+        headroom = self.policy.memory_headroom
+        if (service_class is not None
+                and service_class.memory_headroom is not None):
+            headroom = service_class.memory_headroom
+        demand = estimated_node_demand(plan)
+        shortfall: Dict[int, int] = {}
+        for node_id, nbytes in demand.items():
+            allowed = self.substrate.free_memory(node_id) * headroom
+            if nbytes > allowed:
+                shortfall[node_id] = int(nbytes - allowed)
+        return shortfall
 
     def shed_deadline(self, arrival_time: float, service_class) -> Optional[float]:
         """Virtual instant at which a queued query must be shed (or None).

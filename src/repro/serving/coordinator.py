@@ -59,6 +59,7 @@ from ..engine.metrics import (QueryCompletion, QueryShed, ShedRecord,
 from ..engine.params import ExecutionParams
 from ..engine.strategies.base import StrategyError
 from ..engine.strategies.sp import SynchronousPipeliningExecutor
+from ..optimizer.operator_tree import OpKind
 from ..optimizer.plan import ParallelExecutionPlan
 from ..sim.core import Event
 from ..sim.machine import MachineConfig
@@ -66,8 +67,8 @@ from .admission import AdmissionController, AdmissionPolicy
 from .classes import DEFAULT_CLASS, ServiceClass
 from .substrate import SharedSubstrate
 from .trace import (NOOP_LOGGER, BrokerImbalance, QueryAdmitted,
-                    QueryFinished, QueryShedEvent, QueryStarted,
-                    QuerySubmitted, RunLogger)
+                    QueryFinished, QueryPreempted, QueryResumed,
+                    QueryShedEvent, QueryStarted, QuerySubmitted, RunLogger)
 
 __all__ = ["QueryRequest", "MultiQueryCoordinator", "CrossQueryBroker"]
 
@@ -140,12 +141,37 @@ class CrossQueryBroker:
                 time=substrate.env.now, node_id=node_id,
                 local_load=local, peak_load=peak,
             ))
+        targets = []
         for other in others:
             if node_id >= len(other.nodes):
                 continue  # elastic: the query planned on a smaller prefix
             scheduler = other.nodes[node_id].scheduler
             if scheduler is not None:
-                scheduler.on_machine_starving()
+                targets.append((other, scheduler))
+        if params.cross_steal_policy == "best" and len(targets) > 1:
+            targets = [min(targets, key=self._benefit_key)]
+        for _other, scheduler in targets:
+            scheduler.on_machine_starving()
+
+    @staticmethod
+    def _benefit_key(target) -> tuple:
+        """Benefit/overhead rank of one steal candidate (lower = better).
+
+        Benefit is the backlog a steal round could actually relieve: the
+        candidate's own queued activations on its most loaded node.
+        Overhead is what a steal would ship — the hash-table bytes the
+        candidate holds (stolen build scopes travel with their table
+        pages).  ``"best"`` picks the argmax of benefit/overhead, with the
+        query id as a deterministic tiebreak, so the broker's intervention
+        moves the one query whose relief is cheapest per byte instead of
+        stampeding every co-resident query at once.
+        """
+        other, _scheduler = target
+        backlog = max(
+            node.total_queued_activations() for node in other.nodes
+        )
+        shipped = sum(node.store.bytes_held for node in other.nodes)
+        return (-(backlog / (1.0 + shipped)), other.query_id)
 
 
 class QueryRequest:
@@ -154,7 +180,8 @@ class QueryRequest:
     __slots__ = ("query_id", "plan", "strategy", "params", "service_class",
                  "arrival_time", "seq", "start_time", "done", "completion",
                  "context", "_sp", "deferred", "shed", "shed_at",
-                 "shed_reason", "plan_index", "planned_size")
+                 "shed_reason", "plan_index", "planned_size", "attempt",
+                 "final_attempt", "preempting")
 
     def __init__(self, query_id: int, plan: ParallelExecutionPlan,
                  strategy: str, params: ExecutionParams,
@@ -194,6 +221,43 @@ class QueryRequest:
         self.plan_index: Optional[int] = None
         #: node count the current ``plan`` was compiled for.
         self.planned_size: int = 0
+        #: which submission of the logical query this is (0 = the
+        #: original arrival; k = the k-th retry of a backoff client).
+        self.attempt: int = 0
+        #: True when a retry client has no attempts left after this one —
+        #: a shed then records ``retries_exhausted`` instead of the
+        #: mechanical queue reason, making terminal give-ups countable.
+        self.final_attempt: bool = False
+        #: a memory preemption (victim spill) is in flight on this
+        #: query's behalf; the admission loop must not trigger another
+        #: until it lands and the freed bytes are observable.
+        self.preempting: bool = False
+
+
+class _Preemption:
+    """One in-flight victim suspension: spill state and resume latch."""
+
+    __slots__ = ("request", "victim", "joins", "nbytes", "spilled",
+                 "spill_done", "resume_requested")
+
+    def __init__(self, request: QueryRequest, victim: QueryRequest,
+                 joins, nbytes: int):
+        #: the admission candidate the spill frees memory for.
+        self.request = request
+        #: the batch query whose hash build is being suspended.
+        self.victim = victim
+        #: ``[(suspended runtime, join id, {shortfall node: spillable
+        #: bytes})]`` — the runtime is the join's build while building,
+        #: its probe once the build finished (see ``_spillable_joins``);
+        #: only the listed nodes are spilled and reloaded.
+        self.joins = joins
+        self.nbytes = nbytes
+        #: bytes actually released once the spill lands.
+        self.spilled = 0
+        self.spill_done = False
+        #: the preemptor resolved (finished or shed) before the spill
+        #: landed; the spill process chains straight into the resume.
+        self.resume_requested = False
 
 
 class MultiQueryCoordinator:
@@ -263,7 +327,9 @@ class MultiQueryCoordinator:
                params: Optional[ExecutionParams] = None,
                query_id: Optional[int] = None,
                service_class: Optional[ServiceClass] = None,
-               plan_index: Optional[int] = None) -> QueryRequest:
+               plan_index: Optional[int] = None,
+               attempt: int = 0,
+               final_attempt: bool = False) -> QueryRequest:
         """Register an arriving query; it executes when admission allows."""
         if not self._arrivals_open:
             raise RuntimeError("arrivals are closed; cannot submit")
@@ -306,6 +372,8 @@ class MultiQueryCoordinator:
         self._next_seq += 1
         request.plan_index = plan_index
         request.planned_size = self.planning_count
+        request.attempt = attempt
+        request.final_attempt = final_attempt
         cls = request.service_class
         request.shed_at = self.admission.shed_deadline(
             request.arrival_time, cls
@@ -326,6 +394,7 @@ class MultiQueryCoordinator:
                 strategy=request.strategy,
                 service_class=request.service_class,
                 params_seed=request.params.seed,
+                attempt=attempt, final_attempt=final_attempt,
             ))
         self._poke()
         return request
@@ -417,15 +486,25 @@ class MultiQueryCoordinator:
             heads.values(),
             key=lambda r: (-r.service_class.priority, r.seq),
         )
+        preempt_tried = False
         for request in order:
             cls = request.service_class
             self._resolve_plan(request)
-            if self.admission.can_admit(
-                    request.plan, live_queries=len(self.running),
-                    service_class=cls,
-                    class_running=self.running_by_class.get(cls.name, 0),
-                    mpl=self.mpl_cap()):
+            gate = self.admission.blocking_gate(
+                request.plan, live_queries=len(self.running),
+                service_class=cls,
+                class_running=self.running_by_class.get(cls.name, 0),
+                mpl=self.mpl_cap())
+            if gate is None:
                 return request
+            if (gate == "memory" and not preempt_tried
+                    and self.admission.policy.memory_preemption):
+                # Only the best memory-blocked head gets the machinery:
+                # preemption is targeted at the query the class priority
+                # order wants next, not at every starving head.
+                preempt_tried = True
+                if self._handle_memory_blocked(request):
+                    continue  # shed with "memory_preempted"
             if not request.deferred:
                 request.deferred = True
                 self.admission.on_deferred(cls)
@@ -476,6 +555,253 @@ class MultiQueryCoordinator:
         else:
             del self._pending_classes[name]
 
+    # -- preemptive memory management ----------------------------------------
+
+    def _handle_memory_blocked(self, request: QueryRequest) -> bool:
+        """A head query is blocked on the memory gate alone: intervene.
+
+        Tries to suspend the best lower-priority victim's hash build
+        (spilling its reserved bytes back to the node pools).  Returns
+        True when the request was *shed* instead — no eligible victim and
+        the policy says a memory-starved query should fail fast rather
+        than rot in the queue.
+        """
+        if request.preempting:
+            return False  # a spill is already in flight for this query
+        policy = self.admission.policy
+        if request.shed_at is None and not policy.preemption_shed:
+            # A victim's resume is keyed to this request's resolution
+            # (admission-then-completion, or a shed).  Without a shed
+            # deadline or the shed fallback an insufficient spill could
+            # freeze the victim forever — refuse to preempt and let the
+            # request wait like any deferred query.
+            return False
+        if self._start_preemption(request):
+            return False
+        if policy.preemption_shed:
+            self.pending.remove(request)
+            self._drop_pending_class(request)
+            self._shed(request, "memory_preempted")
+            return True
+        return False
+
+    def _start_preemption(self, request: QueryRequest) -> bool:
+        """Pick and suspend the best victim for ``request``; True if begun."""
+        shortfall = self.admission.memory_shortfall(
+            request.plan, request.service_class
+        )
+        if not shortfall:
+            return False  # raced with a release: the gate will pass now
+        selected = self._select_victim(request, shortfall)
+        if selected is None:
+            return False
+        victim, joins = selected
+        joins = self._greedy_cover(joins, shortfall)
+        # Mark synchronously, inside this event cascade: a suspended
+        # operator cannot be selected, stolen from, or end.  For a live
+        # build that freezes the writer (its probe is still blocked
+        # upstream); for a finished build the *probe* is what gets
+        # suspended — it is the table's only reader, so nothing touches
+        # the spilled bytes while the timed spill is in flight.
+        for runtime, _join_id, _per_node in joins:
+            runtime.suspended = True
+        request.preempting = True
+        pre = _Preemption(
+            request=request, victim=victim, joins=joins,
+            nbytes=sum(sum(per_node.values())
+                       for _runtime, _join_id, per_node in joins),
+        )
+        request.done.callbacks.append(
+            lambda _event, p=pre: self._on_preemptor_done(p)
+        )
+        self.env.process(
+            self._spill_proc(pre), name=f"spill:q{victim.query_id}"
+        )
+        return True
+
+    def _select_victim(self, request: QueryRequest, shortfall):
+        """Best suspension victim: most spillable bytes where they matter.
+
+        Eligible victims run at strictly lower class priority than the
+        blocked request and have at least one live (not terminated, not
+        ending, not already suspended) hash build holding reserved bytes
+        on a shortfall node.  Rank by those bytes, query id as the
+        deterministic tiebreak.  Returns ``(victim, joins)`` or None.
+        """
+        best = None
+        best_key = None
+        for victim in self.running.values():
+            context = victim.context
+            if context is None or context.done:
+                continue  # SP executions have no spillable hash state
+            if (victim.service_class.priority
+                    >= request.service_class.priority):
+                continue
+            joins = self._spillable_joins(context, shortfall)
+            if not joins:
+                continue
+            total = sum(sum(per_node.values())
+                        for _runtime, _join_id, per_node in joins)
+            key = (-total, victim.query_id)
+            if best_key is None or key < best_key:
+                best, best_key = (victim, joins), key
+        return best
+
+    @staticmethod
+    def _greedy_cover(joins, shortfall):
+        """Smallest useful prefix of the biggest-first join list.
+
+        Spilling (and later reloading) a join the shortfall does not
+        need is pure overhead — every spilled byte is priced through the
+        network/disk models twice.  Take joins in descending spillable
+        size (join id as the deterministic tiebreak) and stop as soon as
+        every shortfall node is covered; if even the full set cannot
+        cover, spill it all (partial relief still unblocks the gate
+        sooner than waiting for the victim's own releases).
+        """
+        ordered = sorted(
+            joins,
+            key=lambda j: (-sum(j[2].values()), j[1]),
+        )
+        chosen = []
+        covered = dict.fromkeys(shortfall, 0)
+        for target, join_id, per_node in ordered:
+            chosen.append((target, join_id, per_node))
+            for node_id, nbytes in per_node.items():
+                covered[node_id] += nbytes
+            if all(covered[node_id] >= need
+                   for node_id, need in shortfall.items()):
+                break
+        return chosen
+
+    @staticmethod
+    def _spillable_joins(context: ExecutionContext, shortfall):
+        """``[(runtime to suspend, join id, {shortfall node: bytes})]``.
+
+        A join's hash table is preemptible in two phases, with a
+        different operator frozen in each:
+
+        * **building** — the build runtime is live: suspend *it* (the
+          probe is already blocked behind the unfinished build, so the
+          table has no reader);
+        * **probing** — the build terminated but its table persists until
+          probe end: suspend the *probe*, the table's only reader.
+
+        A join whose probe also finished has released its table (nothing
+        to spill), and an already-suspended operator is skipped — one
+        preemption per join at a time.
+        """
+        live = {}
+        for runtime in context.ops.values():
+            if runtime.terminated or runtime.ending or runtime.suspended:
+                continue
+            live[(runtime.op.kind, runtime.op.join_id)] = runtime
+        joins = []
+        for runtime in context.ops.values():
+            op = runtime.op
+            if op.kind is not OpKind.BUILD:
+                continue
+            target = live.get((OpKind.BUILD, op.join_id))
+            if target is None:
+                target = live.get((OpKind.PROBE, op.join_id))
+            if target is None:
+                continue
+            per_node = {}
+            for node_id in shortfall:
+                if node_id >= len(context.nodes):
+                    continue
+                nbytes = context.nodes[node_id].store.spillable_bytes(
+                    op.join_id
+                )
+                if nbytes > 0:
+                    per_node[node_id] = nbytes
+            if per_node:
+                joins.append((target, op.join_id, per_node))
+        return joins
+
+    def _spill_seconds(self, context: ExecutionContext, nbytes: int) -> float:
+        """Price of shipping ``nbytes`` of hash table out of memory.
+
+        The same shape as a steal page transfer — serialize the pages
+        (network send instructions at the victim's CPU speed), then
+        stream them at the disk transfer rate (the spill target).
+        """
+        params = context.params
+        serialize = context.instructions_time(
+            params.network.send_instructions(max(1, nbytes))
+        )
+        return serialize + nbytes / params.disk.transfer_rate
+
+    def _reload_seconds(self, context: ExecutionContext, nbytes: int) -> float:
+        """Price of reading spilled bytes back in (the resume path)."""
+        params = context.params
+        deserialize = context.instructions_time(
+            params.network.receive_instructions(max(1, nbytes))
+        )
+        return deserialize + nbytes / params.disk.transfer_rate
+
+    def _spill_proc(self, pre: _Preemption):
+        victim = pre.victim
+        context = victim.context
+        yield self.env.timeout(self._spill_seconds(context, pre.nbytes))
+        released = 0
+        for _runtime, join_id, per_node in pre.joins:
+            for node_id in per_node:
+                released += context.nodes[node_id].store.spill_join(join_id)
+        pre.spilled = released
+        pre.spill_done = True
+        context.metrics.memory_preemptions += 1
+        context.metrics.spill_bytes += released
+        self.metrics.memory_preemptions += 1
+        self.metrics.spill_bytes += released
+        if self.logger.enabled:
+            self.logger.log(QueryPreempted(
+                time=self.env.now, query_id=victim.query_id,
+                for_query_id=pre.request.query_id, spilled_bytes=released,
+            ))
+        pre.request.preempting = False
+        # The freed bytes are now observable: re-evaluate admission.
+        self.substrate.notify_memory_released()
+        self._poke()
+        if pre.resume_requested:
+            self.env.process(
+                self._resume_proc(pre), name=f"resume:q{victim.query_id}"
+            )
+
+    def _on_preemptor_done(self, pre: _Preemption) -> None:
+        """The preemptor resolved (finished or shed): give the memory back."""
+        pre.resume_requested = True
+        if pre.spill_done:
+            self.env.process(
+                self._resume_proc(pre),
+                name=f"resume:q{pre.victim.query_id}",
+            )
+
+    def _resume_proc(self, pre: _Preemption):
+        victim = pre.victim
+        context = victim.context
+        if context.done:
+            return  # defensive: a suspended build cannot normally finish
+        yield self.env.timeout(self._reload_seconds(context, pre.spilled))
+        reloaded = 0
+        for _runtime, join_id, per_node in pre.joins:
+            for node_id in per_node:
+                reloaded += context.nodes[node_id].store.unspill_join(join_id)
+        for runtime, _join_id, _per_node in pre.joins:
+            runtime.suspended = False
+        if self.logger.enabled:
+            self.logger.log(QueryResumed(
+                time=self.env.now, query_id=victim.query_id,
+                reloaded_bytes=reloaded,
+            ))
+        # The end condition may have ripened while the operator was
+        # frozen (its producers finishing), and its threads may all be
+        # parked.
+        for runtime, _join_id, _per_node in pre.joins:
+            context.maybe_end(runtime)
+        for node in context.nodes:
+            node.wake_all()
+
     # -- overload handling (shedding) ----------------------------------------
 
     def _shed_expired(self) -> None:
@@ -506,6 +832,11 @@ class MultiQueryCoordinator:
 
     def _shed(self, request: QueryRequest, reason: str) -> None:
         request.shed = True
+        if request.final_attempt and reason in ("queue_timeout", "deadline"):
+            # The terminal attempt of a retrying client: the client gives
+            # up, which is the fact worth counting — the mechanical queue
+            # reason is the same one every earlier attempt already logged.
+            reason = "retries_exhausted"
         self.admission.on_shed(request.service_class)
         record = ShedRecord(
             query_id=request.query_id,
@@ -519,6 +850,7 @@ class MultiQueryCoordinator:
             self.logger.log(QueryShedEvent(
                 time=self.env.now, query_id=request.query_id,
                 service_class=request.service_class.name, reason=reason,
+                attempt=request.attempt,
             ))
         if not request.done.triggered:
             # An explicit completion kind, not ``done(None)``: drivers

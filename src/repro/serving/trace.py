@@ -36,7 +36,8 @@ from .classes import ServiceClass
 
 __all__ = [
     "RunStarted", "QuerySubmitted", "QueryAdmitted", "QueryStarted",
-    "QueryFinished", "QueryShedEvent", "StealRound", "StealTransfer",
+    "QueryFinished", "QueryShedEvent", "QueryPreempted", "QueryResumed",
+    "StealRound", "StealTransfer",
     "BrokerImbalance", "NodeJoined", "NodeDraining", "NodeLeft",
     "RebalanceCompleted", "encode_event", "decode_event",
     "RunLogger", "NoopLogger", "NOOP_LOGGER", "MemoryLogger",
@@ -77,6 +78,12 @@ class QuerySubmitted:
     #: the per-query engine seed (routing, trigger skew) the execution ran
     #: with — ``request.params.seed`` at submission time.
     params_seed: int
+    #: retry attempt number (0: the original submission; k: the k-th
+    #: backoff re-entry of the same logical query).
+    attempt: int = 0
+    #: True when a retrying client will give up rather than resubmit if
+    #: this attempt is shed (bounded retries: the last allowed attempt).
+    final_attempt: bool = False
 
 
 @dataclass(frozen=True)
@@ -114,6 +121,34 @@ class QueryShedEvent:
     query_id: int
     service_class: str
     reason: str
+    #: retry attempt number of the shed submission (0: first attempt).
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class QueryPreempted:
+    """A running query's hash build was suspended (spilled) for memory.
+
+    Preemptive memory management: ``query_id`` is the victim whose
+    build-side hash tables were spilled, ``for_query_id`` the admission
+    candidate whose reservation the released bytes serve.
+    """
+
+    kind = "query_preempted"
+    time: float
+    query_id: int
+    for_query_id: int
+    spilled_bytes: int
+
+
+@dataclass(frozen=True)
+class QueryResumed:
+    """A preempted query's spilled hash tables were reloaded."""
+
+    kind = "query_resumed"
+    time: float
+    query_id: int
+    reloaded_bytes: int
 
 
 @dataclass(frozen=True)
@@ -207,9 +242,9 @@ class RebalanceCompleted:
 EVENT_TYPES = {
     cls.kind: cls
     for cls in (RunStarted, QuerySubmitted, QueryAdmitted, QueryStarted,
-                QueryFinished, QueryShedEvent, StealRound, StealTransfer,
-                BrokerImbalance, NodeJoined, NodeDraining, NodeLeft,
-                RebalanceCompleted)
+                QueryFinished, QueryShedEvent, QueryPreempted, QueryResumed,
+                StealRound, StealTransfer, BrokerImbalance, NodeJoined,
+                NodeDraining, NodeLeft, RebalanceCompleted)
 }
 
 
@@ -336,6 +371,10 @@ class TraceQuery:
     strategy: str
     service_class: Optional[ServiceClass]
     params_seed: int
+    #: retry attempt number recorded at submission (replay re-submits it
+    #: verbatim so ``retries_exhausted`` sheds reproduce byte-identically).
+    attempt: int = 0
+    final_attempt: bool = False
 
 
 @dataclass(frozen=True)
@@ -378,6 +417,8 @@ class Trace:
                     strategy=event.strategy,
                     service_class=event.service_class,
                     params_seed=event.params_seed,
+                    attempt=event.attempt,
+                    final_attempt=event.final_attempt,
                 ))
         if not queries:
             raise ValueError("trace has no submitted queries")
@@ -412,5 +453,6 @@ class Trace:
                 plan_index=q.plan_index, plan_label="",
                 strategy=q.strategy, service_class=q.service_class,
                 params_seed=q.params_seed,
+                attempt=q.attempt, final_attempt=q.final_attempt,
             ))
         return events

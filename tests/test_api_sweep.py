@@ -179,7 +179,7 @@ class TestRegistry:
         assert EXPERIMENTS is REGISTRY
         assert set(EXPERIMENTS) == {
             "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
-            "workload", "classes", "traces", "elastic",
+            "workload", "classes", "traces", "elastic", "overload",
         }
 
     def test_presentation_order_params_first(self):

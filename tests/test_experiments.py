@@ -146,6 +146,27 @@ class TestFigureModules:
         assert result.fp_bytes >= 0
         assert "5-operator chain" in result.table()
 
+    def test_overload_miniature(self):
+        from repro.experiments import overload
+
+        result = overload.run(TINY, multipliers=(1.0, 2.0),
+                              queries_per_cell=8)
+        assert {(r.regime, r.multiplier) for r in result.rows} == {
+            ("naive", 1.0), ("naive", 2.0),
+            ("graceful", 1.0), ("graceful", 2.0),
+        }
+        for row in result.rows:
+            # every logical query resolves, served or abandoned
+            assert row.completed + row.gave_up == result.queries
+            assert 0 <= row.good <= row.completed
+            assert row.goodput >= 0
+            if row.regime == "naive":
+                # unbounded retries never give up
+                assert row.gave_up == 0
+                assert row.completed == result.queries
+        assert "Goodput under overload" in result.table()
+        assert "graceful" in result.degradation_summary()
+
     def test_service_class_sweep_miniature(self):
         from repro.experiments import service_class_sweep
 
@@ -185,7 +206,7 @@ class TestRunner:
     def test_registry_covers_all_paper_artifacts(self):
         assert set(EXPERIMENTS) == {
             "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
-            "workload", "classes", "traces", "elastic",
+            "workload", "classes", "traces", "elastic", "overload",
         }
 
     def test_params_experiment_is_static(self, tmp_path):
