@@ -34,7 +34,14 @@ def emit(kernel: str = "event") -> str:
     """The canonical determinism report (no wall times, no environment)."""
     from repro.catalog.skew import SkewSpec
     from repro.engine import QueryExecutor
-    from repro.experiments import elastic, figure6, figure9, figure10, section53
+    from repro.experiments import (
+        elastic,
+        figure6,
+        figure9,
+        figure10,
+        placement,
+        section53,
+    )
     from repro.experiments.config import ExperimentOptions, scaled_execution_params
     from repro.workloads.scenarios import (
         pipeline_chain_scenario,
@@ -83,6 +90,13 @@ def emit(kernel: str = "event") -> str:
     # hybrid kernel is documented to resolve differently (the opt-in
     # caveat on FIFOFastForward), perturbing the latency floats.
     sections.append(f"== elastic ==\n{elastic.run(options).digest()}\n")
+
+    # Placement policies: same digest-not-table reasoning as elastic —
+    # rewrite counts, completions and steal traffic are discrete
+    # outcomes both kernels must reproduce exactly; the reduced grid
+    # keeps the gate fast (one regime, three policies, both steal
+    # modes).
+    sections.append(f"== placement ==\n{placement.determinism_digest(options)}\n")
     return "\n".join(sections)
 
 

@@ -31,8 +31,8 @@ Quickstart::
 from .facade import RunResult, build_plan_bank, build_plans, run, run_query
 from .serde import SpecError
 from .spec import (PLAN_KINDS, AutoscalerSpec, ClusterEventSpec, ClusterSpec,
-                   PlanSpec, RetryPolicySpec, ScenarioSpec, TraceSpec,
-                   get_path, replace_path)
+                   PlacementSpec, PlanSpec, RetryPolicySpec, ScenarioSpec,
+                   TraceSpec, get_path, replace_path)
 from .sweep import (
     AXIS_MACROS,
     SweepSpec,
@@ -48,6 +48,7 @@ __all__ = [
     "AutoscalerSpec",
     "ClusterEventSpec",
     "ClusterSpec",
+    "PlacementSpec",
     "PlanSpec",
     "RetryPolicySpec",
     "RunResult",

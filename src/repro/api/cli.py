@@ -129,6 +129,16 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"gave up {clients.gave_up}, retries {clients.retries} "
                 f"(shed: {reason_text})"
             )
+        placement = result.metrics.placement_summary()
+        if placement is not None:
+            policies = ", ".join(
+                f"{name} x{count}" for name, count in placement["policies"].items()
+            )
+            print(
+                f"  placement: {policies} — "
+                f"{placement['plans_rewritten']} plans rewritten, "
+                f"{placement['bytes_avoided']} B est. transfer avoided"
+            )
         cluster = result.metrics.cluster_summary()
         if cluster is not None:
             print(

@@ -30,6 +30,7 @@ from typing import Optional
 
 from ..cluster.spec import AutoscalerSpec, ClusterEventSpec, ClusterSpec
 from ..engine.params import ExecutionParams
+from ..placement.spec import PlacementSpec
 from ..serving.driver import RetryPolicySpec, WorkloadSpec
 from ..serving.trace import Trace
 from ..sim.machine import MachineConfig
@@ -41,6 +42,7 @@ __all__ = [
     "AutoscalerSpec",
     "ClusterEventSpec",
     "ClusterSpec",
+    "PlacementSpec",
     "PlanSpec",
     "RetryPolicySpec",
     "ScenarioSpec",

@@ -322,6 +322,19 @@ class WorkloadMetrics:
     #: shed queries that re-entered the arrival stream after backoff
     #: (total resubmissions across all retrying clients).
     retries: int = 0
+    # -- placement accounting (all empty/zero when the ``paper`` no-op
+    # -- policy is selected, in which case ``summary()`` omits the
+    # -- "placement" digest so pre-placement baselines stay
+    # -- byte-identical) ------------------------------------------------
+    #: admissions placed per policy name (one entry per admitted query
+    #: when a real placement policy is active).
+    placements: dict = field(default_factory=dict)
+    #: admissions whose join homes the policy actually rewrote.
+    placements_changed: int = 0
+    #: estimated redistribution bytes avoided vs the optimizer homes,
+    #: summed over all placements (the policies' own page-transfer-model
+    #: estimate; negative when placement shipped more).
+    placement_bytes_avoided: int = 0
     # -- elastic-cluster accounting (all zero on a static cluster, in
     # -- which case ``summary()`` omits the "cluster" digest entirely so
     # -- static baselines stay byte-identical) --------------------------
@@ -546,6 +559,27 @@ class WorkloadMetrics:
         """Network-link queueing delay summed over all completions."""
         return sum(c.result.metrics.net_wait_time for c in self.completions)
 
+    # -- placement digest -----------------------------------------------------
+
+    def record_placement(self, decision) -> None:
+        """Count one admission-time placement decision
+        (:class:`~repro.placement.base.PlacementDecision`)."""
+        name = decision.policy
+        self.placements[name] = self.placements.get(name, 0) + 1
+        if decision.changed:
+            self.placements_changed += 1
+        self.placement_bytes_avoided += decision.bytes_avoided
+
+    def placement_summary(self) -> Optional[dict]:
+        """Placement digest, or None when no policy ever placed."""
+        if not self.placements:
+            return None
+        return {
+            "policies": dict(sorted(self.placements.items())),
+            "plans_rewritten": self.placements_changed,
+            "bytes_avoided": self.placement_bytes_avoided,
+        }
+
     # -- elastic-cluster digest ---------------------------------------------
 
     def cluster_summary(self) -> Optional[dict]:
@@ -620,6 +654,9 @@ class WorkloadMetrics:
         cluster = self.cluster_summary()
         if cluster is not None:
             digest["cluster"] = cluster
+        placement = self.placement_summary()
+        if placement is not None:
+            digest["placement"] = placement
         return digest
 
 
@@ -842,4 +879,7 @@ class StreamingWorkloadMetrics(WorkloadMetrics):
         cluster = self.cluster_summary()
         if cluster is not None:
             digest["cluster"] = cluster
+        placement = self.placement_summary()
+        if placement is not None:
+            digest["placement"] = placement
         return digest

@@ -32,7 +32,7 @@ from typing import Optional
 # itself, ahead of these).
 from . import (figure6, figure7, figure8, figure9, figure10, section53,  # noqa: F401
                workload_sweep, service_class_sweep, trace_replay,  # noqa: F401
-               elastic, overload)  # noqa: F401
+               elastic, overload, placement)  # noqa: F401
 from .config import ExperimentOptions
 from .registry import REGISTRY as EXPERIMENTS
 
@@ -98,6 +98,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures."
     )
+    parser.add_argument("--list", action="store_true",
+                        help="list registered experiments (one 'name: "
+                             "description' line each) and exit")
     parser.add_argument("--only", nargs="*", default=None,
                         choices=list(EXPERIMENTS), metavar="EXPERIMENT",
                         help=f"subset of experiments: {list(EXPERIMENTS)}")
@@ -117,6 +120,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--output", default="EXPERIMENTS.md",
                         help="report path (default EXPERIMENTS.md)")
     args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment in EXPERIMENTS.values():
+            print(f"{experiment.name}: {experiment.description}")
+        return 0
 
     options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
     if args.plans is not None:

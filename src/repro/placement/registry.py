@@ -1,0 +1,44 @@
+"""String-keyed placement-policy registry (selected as scenario data).
+
+The same shape as the experiment registry (and the
+ray-scheduler-prototype scheduler table excerpted in SNIPPETS.md): a
+policy class registers under a stable name, scenarios select it by that
+name (``workload.placement.scheduler``), and
+:class:`~repro.placement.spec.PlacementSpec` validates names at spec
+load — an unknown scheduler is a dotted-path ``SpecError`` before
+anything runs.
+"""
+
+from __future__ import annotations
+
+from .base import PlacementPolicy
+
+__all__ = ["available_policies", "get_policy", "register_policy"]
+
+#: name -> singleton policy instance (policies are stateless).
+_POLICIES: dict[str, PlacementPolicy] = {}
+
+
+def register_policy(cls: type[PlacementPolicy]) -> type[PlacementPolicy]:
+    """Class decorator: instantiate and register under ``cls.name``."""
+    name = cls.name
+    if not name or name == PlacementPolicy.name:
+        raise ValueError(f"policy {cls.__name__} needs a distinct name")
+    _POLICIES[name] = cls()
+    return cls
+
+
+def get_policy(name: str) -> PlacementPolicy:
+    """The registered singleton for ``name`` (KeyError with the roster)."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown placement policy {name!r}; "
+            f"known: {available_policies()}"
+        ) from None
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names, sorted (the spec's validation roster)."""
+    return tuple(sorted(_POLICIES))

@@ -1,0 +1,66 @@
+"""Placement selection as data: the ``workload.placement`` subtree.
+
+A :class:`PlacementSpec` travels on
+:class:`~repro.serving.driver.WorkloadSpec`, so a scenario file selects
+its cluster scheduler the same way it selects arrivals or admission —
+and every knob is a sweepable dotted path
+(``workload.placement.scheduler``, ``.width``, ``.threshold``) for
+:class:`~repro.api.sweep.SweepSpec` grids.
+
+Validation runs at spec load, not run time: an unknown ``scheduler``
+name or an out-of-range knob raises ``ValueError`` here, which the
+serde layer surfaces as a dotted-path
+:class:`~repro.api.serde.SpecError` (``$.workload.placement: ...``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .registry import available_policies
+
+__all__ = ["PlacementSpec"]
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """Which cluster scheduler places admitted queries, and its knobs."""
+
+    #: registered policy name; ``"paper"`` (the default) disables
+    #: placement entirely — optimizer homes verbatim, no counters, no
+    #: events, byte-identical to the pre-placement coordinator.
+    scheduler: str = "paper"
+    #: join-home width for the width-taking policies (round_robin,
+    #: load_aware, location_aware, threshold_local): how many nodes each
+    #: query's joins are concentrated on.  0 = the full candidate set
+    #: (no narrowing); transfer_aware chooses its own width and ignores
+    #: this knob.
+    width: int = 1
+    #: queued-activation depth above which ``threshold_local`` spills a
+    #: query off its local window to the least-loaded members.
+    threshold: int = 4
+
+    def __post_init__(self) -> None:
+        # Validation needs the roster: make sure the built-in policies
+        # are registered even when this module is imported directly.
+        from . import policies  # noqa: F401
+
+        known = available_policies()
+        if self.scheduler not in known:
+            raise ValueError(
+                f"unknown placement scheduler {self.scheduler!r}; "
+                f"known: {list(known)}"
+            )
+        if self.width < 0:
+            raise ValueError(
+                f"width must be >= 0 (0 = full home width), got {self.width}"
+            )
+        if self.threshold < 0:
+            raise ValueError(
+                f"threshold must be >= 0, got {self.threshold}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec selects a real scheduler (not the no-op)."""
+        return self.scheduler != "paper"

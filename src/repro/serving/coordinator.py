@@ -61,13 +61,14 @@ from ..engine.strategies.base import StrategyError
 from ..engine.strategies.sp import SynchronousPipeliningExecutor
 from ..optimizer.operator_tree import OpKind
 from ..optimizer.plan import ParallelExecutionPlan
+from ..placement import ClusterView, get_policy, place_plan
 from ..sim.core import Event
 from ..sim.machine import MachineConfig
 from .admission import AdmissionController, AdmissionPolicy
 from .classes import DEFAULT_CLASS, ServiceClass
 from .substrate import SharedSubstrate
 from .trace import (NOOP_LOGGER, BrokerImbalance, QueryAdmitted,
-                    QueryFinished, QueryPreempted, QueryResumed,
+                    QueryFinished, QueryPlaced, QueryPreempted, QueryResumed,
                     QueryShedEvent, QueryStarted, QuerySubmitted, RunLogger)
 
 __all__ = ["QueryRequest", "MultiQueryCoordinator", "CrossQueryBroker"]
@@ -177,11 +178,12 @@ class CrossQueryBroker:
 class QueryRequest:
     """One submitted query: identity, timestamps, completion event."""
 
-    __slots__ = ("query_id", "plan", "strategy", "params", "service_class",
+    __slots__ = ("query_id", "plan", "base_plan", "strategy", "params",
+                 "service_class",
                  "arrival_time", "seq", "start_time", "done", "completion",
                  "context", "_sp", "deferred", "shed", "shed_at",
                  "shed_reason", "plan_index", "planned_size", "attempt",
-                 "final_attempt", "preempting")
+                 "final_attempt", "preempting", "placement")
 
     def __init__(self, query_id: int, plan: ParallelExecutionPlan,
                  strategy: str, params: ExecutionParams,
@@ -189,6 +191,10 @@ class QueryRequest:
                  arrival_time: float, seq: int, done: Event):
         self.query_id = query_id
         self.plan = plan
+        #: the un-placed plan (as submitted, or the bank's re-resolution)
+        #: the placement policy re-derives ``plan`` from on every head
+        #: evaluation — placement never compounds on its own output.
+        self.base_plan = plan
         self.strategy = strategy
         self.params = params
         #: scheduling/admission contract (weight, priority, SLO, gates).
@@ -232,6 +238,9 @@ class QueryRequest:
         #: query's behalf; the admission loop must not trigger another
         #: until it lands and the freed bytes are observable.
         self.preempting: bool = False
+        #: the placement decision behind the current ``plan`` (None when
+        #: no policy is active); finalized at admission.
+        self.placement = None
 
 
 class _Preemption:
@@ -268,7 +277,8 @@ class MultiQueryCoordinator:
                  policy: AdmissionPolicy = AdmissionPolicy(),
                  logger: Optional[RunLogger] = None,
                  metrics: Optional[WorkloadMetrics] = None,
-                 cluster=None, plan_bank=None, relations=()):
+                 cluster=None, plan_bank=None, relations=(),
+                 placement=None):
         self.config = config
         self.params = params or ExecutionParams()
         self.substrate = SharedSubstrate(config, self.params)
@@ -310,6 +320,15 @@ class MultiQueryCoordinator:
         #: plans per cluster size (``{nodes: (plan, ...)}``) — the plan
         #: bank admission re-resolves against when membership changes.
         self.plan_bank = plan_bank
+        #: admission-time placement (:class:`~repro.placement.spec.
+        #: PlacementSpec`); the default ``paper`` scheduler (or None)
+        #: takes the exact pre-placement code path — no view is built,
+        #: no plan is rewritten, no counter or event is emitted.
+        self.placement = placement
+        if placement is not None and placement.scheduler != "paper":
+            self._placement_policy = get_policy(placement.scheduler)
+        else:
+            self._placement_policy = None
         #: the elastic-cluster runtime; None on a static cluster, in
         #: which case *nothing* else in this module changes behaviour.
         self.elastic = None
@@ -461,12 +480,23 @@ class MultiQueryCoordinator:
                     break
                 self.pending.remove(request)
                 self._drop_pending_class(request)
+                if request.placement is not None:
+                    # The decision of *this* evaluation is the one that
+                    # runs: count it exactly once, at admission.
+                    self.metrics.record_placement(request.placement)
                 self.admission.on_admitted(request.service_class)
                 if self.logger.enabled:
                     self.logger.log(QueryAdmitted(
                         time=self.env.now, query_id=request.query_id,
                         queued_for=self.env.now - request.arrival_time,
                     ))
+                    if request.placement is not None:
+                        decision = request.placement
+                        self.logger.log(QueryPlaced(
+                            time=self.env.now, query_id=request.query_id,
+                            policy=decision.policy, nodes=decision.nodes,
+                            bytes_avoided=decision.bytes_avoided,
+                        ))
                 self._start(request)
             if (not self._arrivals_open and not self.pending
                     and not self.running):
@@ -490,6 +520,7 @@ class MultiQueryCoordinator:
         for request in order:
             cls = request.service_class
             self._resolve_plan(request)
+            self._place(request)
             gate = self.admission.blocking_gate(
                 request.plan, live_queries=len(self.running),
                 service_class=cls,
@@ -526,7 +557,34 @@ class MultiQueryCoordinator:
         size = self.elastic.planning_count
         if size != request.planned_size:
             request.plan = self.plan_bank[size][request.plan_index]
+            request.base_plan = request.plan
             request.planned_size = size
+
+    def _place(self, request: QueryRequest) -> None:
+        """Apply the placement policy to a head-of-line candidate.
+
+        Runs *after* the membership-aware plan re-resolution and
+        *before* the admission gates, so the gates (and the eventual
+        execution) see the placed plan — a policy that concentrates a
+        query's joins concentrates its memory demand too.  Re-derived
+        from ``base_plan`` on every head evaluation: the load picture
+        may have changed while the query queued, and placement must
+        never compound on its own previous output.
+        """
+        policy = self._placement_policy
+        if policy is None:
+            return
+        view = ClusterView(
+            planning_nodes=tuple(range(self.planning_count)),
+            node_load=self.substrate.node_load,
+            admitted=self.admission.admitted,
+            params=self.params,
+            config=self.config,
+        )
+        request.plan, request.placement = place_plan(
+            request.base_plan, policy, self.placement, view,
+            request.query_id,
+        )
 
     def _class_heads(self) -> dict[str, QueryRequest]:
         """Head-of-line pending request per service-class name.

@@ -26,6 +26,7 @@ from typing import Optional, Sequence, Union
 from ..engine.metrics import WorkloadMetrics
 from ..engine.params import ExecutionParams
 from ..optimizer.plan import ParallelExecutionPlan
+from ..placement.spec import PlacementSpec
 from ..sim.core import LOW
 from ..sim.machine import MachineConfig
 from ..sim.rng import RandomStreams, derive_seed
@@ -152,6 +153,9 @@ class WorkloadSpec:
     #: client retry behaviour on shed queries; None (default) keeps the
     #: pre-retry behaviour — a shed query is simply gone.
     retry: Optional[RetryPolicySpec] = None
+    #: admission-time cluster scheduler (see :mod:`repro.placement`);
+    #: the default ``paper`` policy is a strict no-op.
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
     #: master seed: plan choice, arrivals, think times and all per-query
     #: engine randomness derive from it.
     seed: int = 0
@@ -495,7 +499,7 @@ class WorkloadDriver:
             self.config, params=self.params, policy=self.spec.policy,
             logger=self.logger, metrics=self.metrics,
             cluster=self.cluster, plan_bank=self.plan_bank,
-            relations=self.relations,
+            relations=self.relations, placement=self.spec.placement,
         )
         #: fresh lifecycle accounting per built coordinator.
         self.client_stats = ClientStats()

@@ -35,7 +35,8 @@ from typing import IO, Iterable, List, Optional
 from .classes import ServiceClass
 
 __all__ = [
-    "RunStarted", "QuerySubmitted", "QueryAdmitted", "QueryStarted",
+    "RunStarted", "QuerySubmitted", "QueryAdmitted", "QueryPlaced",
+    "QueryStarted",
     "QueryFinished", "QueryShedEvent", "QueryPreempted", "QueryResumed",
     "StealRound", "StealTransfer",
     "BrokerImbalance", "NodeJoined", "NodeDraining", "NodeLeft",
@@ -93,6 +94,24 @@ class QueryAdmitted:
     query_id: int
     #: admission-queue wait (``time - arrival_time``).
     queued_for: float
+
+
+@dataclass(frozen=True)
+class QueryPlaced:
+    """An admission-time placement policy chose the query's join home.
+
+    Logged once per admission, only when a real (non-``paper``) policy
+    is selected; ``bytes_avoided`` is the policy's own estimate of
+    redistribution bytes saved relative to the optimizer homes (may be
+    negative when the chosen set ships more).
+    """
+
+    kind = "query_placed"
+    time: float
+    query_id: int
+    policy: str
+    nodes: tuple[int, ...]
+    bytes_avoided: int
 
 
 @dataclass(frozen=True)
@@ -241,7 +260,8 @@ class RebalanceCompleted:
 
 EVENT_TYPES = {
     cls.kind: cls
-    for cls in (RunStarted, QuerySubmitted, QueryAdmitted, QueryStarted,
+    for cls in (RunStarted, QuerySubmitted, QueryAdmitted, QueryPlaced,
+                QueryStarted,
                 QueryFinished, QueryShedEvent, QueryPreempted, QueryResumed,
                 StealRound, StealTransfer, BrokerImbalance, NodeJoined,
                 NodeDraining, NodeLeft, RebalanceCompleted)
@@ -271,6 +291,10 @@ def decode_event(payload: dict):
         raise ValueError(f"unknown trace event kind {kind!r}")
     if kind == "query_submitted" and data.get("service_class") is not None:
         data["service_class"] = ServiceClass(**data["service_class"])
+    if kind == "query_placed":
+        # JSON has no tuples; restore the frozen event's exact shape so
+        # decode(encode(e)) == e holds for QueryPlaced too.
+        data["nodes"] = tuple(data["nodes"])
     return cls(**data)
 
 

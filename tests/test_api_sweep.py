@@ -180,6 +180,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
             "workload", "classes", "traces", "elastic", "overload",
+            "placement",
         }
 
     def test_presentation_order_params_first(self):

@@ -207,6 +207,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "params", "fig6", "fig7", "fig8", "fig9", "fig10", "sec53",
             "workload", "classes", "traces", "elastic", "overload",
+            "placement",
         }
 
     def test_params_experiment_is_static(self, tmp_path):
